@@ -1,0 +1,32 @@
+"""Benchmark plumbing: each benchmark regenerates one paper figure.
+
+Every benchmark runs its experiment once per measurement round (the
+simulation is deterministic, so more rounds only measure wall-clock
+noise) and writes the rendered figure to ``benchmarks/out/<name>.txt``
+so results survive output capturing.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def figure_sink():
+    """Persist a rendered figure; returns the path written."""
+
+    def write(name: str, text: str) -> pathlib.Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

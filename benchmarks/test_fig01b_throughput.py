@@ -1,0 +1,18 @@
+"""Figure 1b: TPC-H throughput, QPipe vs DBMS X (the intro figure)."""
+
+from benchmarks.conftest import run_once
+from repro.harness import SMOKE
+from repro.harness.experiments import fig1b_throughput
+
+CLIENTS = (1, 4, 8, 12)
+
+
+def test_fig01b_throughput(benchmark, figure_sink):
+    series = run_once(
+        benchmark, lambda: fig1b_throughput(SMOKE, client_counts=CLIENTS)
+    )
+    figure_sink("fig01b_throughput", series.render())
+    qpipe, dbmsx = series.curve("QPipe w/OSP"), series.curve("DBMS X")
+    # Equal when disk-bound at one client; ~2x at high concurrency.
+    assert abs(qpipe[0] - dbmsx[0]) / dbmsx[0] < 0.15
+    assert qpipe[-1] > 1.5 * dbmsx[-1]

@@ -1,0 +1,20 @@
+"""Figure 13: average response time vs think time, 10 clients."""
+
+from benchmarks.conftest import run_once
+from repro.harness import SMOKE, fig13_think_time
+
+THINK = (0, 20, 40, 60, 240)
+
+
+def test_fig13_think_time(benchmark, figure_sink):
+    series = run_once(
+        benchmark,
+        lambda: fig13_think_time(SMOKE, think_times=THINK, clients=10),
+    )
+    figure_sink("fig13_think_time", series.render())
+    qpipe = series.curve("QPipe w/OSP")
+    baseline = series.curve("Baseline")
+    # QPipe keeps response times low even at full load...
+    assert qpipe[0] < 0.5 * baseline[0]
+    # ...and the baseline recovers as think time relieves the system.
+    assert baseline[-1] < baseline[0]

@@ -1,0 +1,17 @@
+"""Section 5 claim: the OSP coordinator's overhead is negligible when
+queries present no sharing opportunities."""
+
+from benchmarks.conftest import run_once
+from repro.harness import SMOKE, osp_overhead
+
+
+def test_osp_overhead(benchmark, figure_sink):
+    result = run_once(benchmark, lambda: osp_overhead(SMOKE, queries=6))
+    text = (
+        "OSP coordinator overhead (no sharing opportunities):\n"
+        f"  makespan OSP on : {result['makespan_osp_on']:.1f} s\n"
+        f"  makespan OSP off: {result['makespan_osp_off']:.1f} s\n"
+        f"  ratio           : {result['overhead_ratio']:.4f}"
+    )
+    figure_sink("osp_overhead", text)
+    assert abs(result["overhead_ratio"] - 1.0) < 0.05

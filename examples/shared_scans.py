@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Circular scan sharing: many clients, different predicates, one scan.
+
+The Figure 8 story at example scale: several clients scan the same table
+with *different* selection predicates at staggered arrival times.  With
+OSP enabled, every scan attaches to the table's shared circular scanner
+(section 4.3.1 of the paper) and sets its own termination point one full
+cycle later; the disk reads each page once per cycle regardless of how
+many queries consume it.  With OSP disabled, every query pays for its
+own pass.
+
+Run:  python examples/shared_scans.py
+"""
+
+from repro import (
+    AggSpec,
+    Aggregate,
+    Col,
+    Host,
+    HostConfig,
+    QPipeConfig,
+    QPipeEngine,
+    Schema,
+    StorageManager,
+    TableScan,
+)
+
+N_CLIENTS = 6
+INTERARRIVAL = 8.0  # seconds between client arrivals
+
+
+def build_database() -> StorageManager:
+    host = Host(HostConfig(disk_transfer_time=0.12, disk_seek_time=0.024))
+    sm = StorageManager(host, buffer_pages=32)
+    schema = Schema.of("id:int", "grp:int", "v:float", "pad:str:180")
+    rows = [(i, i % N_CLIENTS, float(i % 97), f"row{i:06d}")
+            for i in range(6000)]
+    sm.create_table("events", schema)
+    sm.load_table("events", rows)
+    return sm
+
+
+def run_workload(osp_enabled: bool):
+    sm = build_database()
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=osp_enabled))
+    sim = sm.sim
+
+    def client(idx):
+        yield sim.timeout(idx * INTERARRIVAL)
+        # Each client filters a different group: no two queries compute
+        # the same thing, yet their page reads are fully shareable.
+        plan = Aggregate(
+            TableScan("events", predicate=Col("grp") == idx),
+            [AggSpec("sum", Col("v"), "s"), AggSpec("count", None, "n")],
+        )
+        result = yield from engine.execute(plan)
+        return result
+
+    procs = [sim.spawn(client(i)) for i in range(N_CLIENTS)]
+    sim.run_until_done(procs)
+    results = [p.value for p in procs]
+    return sm, engine, results
+
+
+def main() -> None:
+    print(f"{N_CLIENTS} clients, one every {INTERARRIVAL:.0f}s, "
+          "each aggregating a different slice of the same table\n")
+    for osp in (False, True):
+        sm, engine, results = run_workload(osp)
+        label = "QPipe w/OSP" if osp else "Baseline (OSP off)"
+        makespan = max(r.finished_at for r in results)
+        blocks = sm.host.disk.stats.blocks_read
+        print(f"{label}:")
+        print(f"  makespan          : {makespan:8.1f} s")
+        print(f"  disk blocks read  : {blocks:5d} "
+              f"(table is {sm.num_pages('events')} pages)")
+        if osp:
+            print(f"  circular attaches : "
+                  f"{engine.osp_stats.attaches['fscan-circular']}")
+            print(f"  pages delivered to extra consumers for free: "
+                  f"{engine.osp_stats.shared_page_deliveries}")
+        # Answers are identical either way.
+        total = sum(r.rows[0][1] for r in results)
+        print(f"  rows aggregated   : {total}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""SQL on QPipe: run TPC-H-style SQL text on the simulated engine.
+
+The library ships a small SQL-92 subset (`repro.sql`) that compiles to
+the same logical plans the engines execute, with predicate pushdown and
+hash-join selection — so SQL queries share work through OSP exactly like
+hand-built plans.
+
+Run:  python examples/sql_queries.py
+"""
+
+from repro import QPipeConfig, QPipeEngine, StorageManager
+from repro.hw.host import Host, HostConfig
+from repro.sql import run
+from repro.workloads.tpch import TpchScale, load_tpch
+
+QUERIES = {
+    "pricing summary (Q1-like)": """
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity)     AS sum_qty,
+               COUNT(*)            AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-09-01'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY sum_qty DESC
+    """,
+    "revenue forecast (Q6-like)": """
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1995-01-01'
+          AND l_shipdate < DATE '1996-01-01'
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+    "priority counts over a join (Q4-like)": """
+        SELECT o_orderpriority, COUNT(*) AS order_count
+        FROM orders JOIN lineitem ON o_orderkey = l_orderkey
+        WHERE o_orderdate >= DATE '1995-03-01'
+          AND o_orderdate < DATE '1995-06-01'
+          AND l_commitdate < l_receiptdate
+        GROUP BY o_orderpriority
+        ORDER BY order_count DESC
+    """,
+    "top customers by spend": """
+        SELECT c_custkey, SUM(o_totalprice) AS spend
+        FROM customer JOIN orders ON c_custkey = o_custkey
+        GROUP BY c_custkey
+        HAVING COUNT(*) > 2
+        ORDER BY spend DESC
+        LIMIT 5
+    """,
+}
+
+
+def main() -> None:
+    host = Host(HostConfig())
+    sm = StorageManager(host, buffer_pages=256)
+    load_tpch(sm, TpchScale(factor=0.05), seed=11)
+    engine = QPipeEngine(sm, QPipeConfig())
+    for title, sql in QUERIES.items():
+        rows = run(engine, sql)
+        print(f"-- {title}")
+        for row in rows[:6]:
+            print("  ", row)
+        if len(rows) > 6:
+            print(f"   ... ({len(rows)} rows)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

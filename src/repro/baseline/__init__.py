@@ -1,0 +1,21 @@
+"""The conventional "one-query, many-operators" engine (the comparators).
+
+This package implements the query-centric architecture of Figure 5a: each
+query executes as a single process pulling tuples through a Volcano-style
+iterator tree [Graefe 94].  Queries know nothing about each other; the
+only cross-query sharing is whatever the buffer pool provides.
+
+Two configurations reproduce the paper's comparison systems:
+
+* **Baseline** -- the paper's "BerkeleyDB-based QPipe implementation with
+  OSP disabled" shares the storage manager and its LRU pool.  (We model it
+  with the iterator engine over an LRU pool; the QPipe engine with
+  ``osp_enabled=False`` behaves equivalently and is also available.)
+* **DBMS X** -- the anonymous commercial system, modelled as the iterator
+  engine over a stronger, scan-resistant pool (ARC).
+"""
+
+from repro.baseline.engine import IteratorEngine, QueryResult
+from repro.baseline.operators import ExecContext, build_operator
+
+__all__ = ["ExecContext", "IteratorEngine", "QueryResult", "build_operator"]

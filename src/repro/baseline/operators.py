@@ -1,0 +1,1021 @@
+"""Volcano-style iterator operators.
+
+Every operator exposes one coroutine, ``next_batch()``, which yields
+simulation events (disk reads, CPU bursts) and returns either a non-empty
+list of rows or ``None`` at end-of-stream.  Pull-based: the parent drives.
+
+These operators double as the *correctness reference* for the QPipe
+micro-engines -- the integration tests require both engines to produce
+identical result sets for the same plans.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.hw.host import Host
+from repro.relational.expressions import bind_aggregates
+from repro.relational.plans import (
+    Aggregate,
+    AntiJoin,
+    DeleteRows,
+    Distinct,
+    Filter,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    InsertRows,
+    LeftOuterJoin,
+    Limit,
+    MergeJoin,
+    NLJoin,
+    PlanNode,
+    Project,
+    SemiJoin,
+    Sort,
+    TableScan,
+    UpdateRows,
+)
+from repro.relational.schema import Schema
+from repro.storage.locks import LockMode
+from repro.storage.manager import StorageManager
+
+
+@dataclass
+class ExecContext:
+    """Per-query execution context: storage, host, and memory budget."""
+
+    sm: StorageManager
+    host: Host
+    #: Work-memory budget in tuples (sort heaps, hash tables); models the
+    #: paper's "each client is given 128MB of memory".
+    work_mem_tuples: int = 50_000
+    #: Query identity, used as the lock owner for updates.
+    owner: Any = None
+
+    def cpu(self, tuples: int, factor: float = 1.0) -> Generator:
+        """Coroutine: charge CPU for processing *tuples* tuples."""
+        cost = tuples * self.host.config.cpu_per_tuple * factor
+        yield from self.host.cpu.burst(cost)
+
+
+class Operator:
+    """Base iterator operator."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def next_batch(self) -> Generator:
+        """Coroutine: the next non-empty batch of rows, or None at EOS."""
+        raise NotImplementedError
+
+    def drain(self) -> Generator:
+        """Coroutine: every remaining row as one list."""
+        rows: List[tuple] = []
+        while True:
+            batch = yield from self.next_batch()
+            if batch is None:
+                return rows
+            rows.extend(batch)
+
+
+class ScanOp(Operator):
+    """Full table scan with optional predicate and projection."""
+
+    def __init__(self, ctx: ExecContext, plan: TableScan):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.plan = plan
+        self.table = plan.table
+        base = ctx.sm.catalog.table_schema(plan.table)
+        self._pred = plan.predicate.bind(base) if plan.predicate else None
+        self._proj = (
+            base.projector(plan.project) if plan.project is not None else None
+        )
+        self._next_page = 0
+        self._num_pages = ctx.sm.num_pages(plan.table)
+
+    def next_batch(self):
+        while self._next_page < self._num_pages:
+            page = yield from self.ctx.sm.read_table_page(
+                self.table, self._next_page, scan=True, stream=id(self)
+            )
+            self._next_page += 1
+            rows = page.rows()
+            yield from self.ctx.cpu(len(rows))
+            if self._pred is not None:
+                rows = [row for row in rows if self._pred(row)]
+            if self._proj is not None:
+                rows = [self._proj(row) for row in rows]
+            if rows:
+                return rows
+        return None
+
+
+class IndexScanOp(Operator):
+    """Index scan: probe the B+tree for RIDs, then fetch rows.
+
+    Phase one builds the full matching RID list (the paper's unclustered
+    scan); phase two fetches pages.  With ``ordered=True`` rows come out
+    in key order; otherwise RIDs are sorted by page number first to visit
+    each page once, sequentially.
+    """
+
+    def __init__(self, ctx: ExecContext, plan: IndexScan):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.plan = plan
+        base = ctx.sm.catalog.table_schema(plan.table)
+        info = ctx.sm.catalog.index(plan.table, plan.index)
+        self._clustered = info.clustered
+        self._key_fn = ctx.sm._key_fn(base, info.key_columns)
+        self._pred = plan.predicate.bind(base) if plan.predicate else None
+        self._proj = (
+            base.projector(plan.project) if plan.project is not None else None
+        )
+        self._rids: Optional[List] = None
+        self._page_no: Optional[int] = None
+        self._stopped = False
+        self._cursor = 0
+
+    def _probe(self):
+        pairs = yield from self.ctx.sm.index_range(
+            self.plan.table, self.plan.index, self.plan.lo, self.plan.hi
+        )
+        rids = [rid for _key, rid in pairs]
+        if not self.plan.ordered:
+            rids.sort()  # ascending page number: one visit per page
+        self._rids = rids
+
+    def _next_clustered_batch(self):
+        """Clustered path: one tree descent, then a sequential, key-
+        ordered heap read ("similar to file scans", section 3.2)."""
+        plan = self.plan
+        sm = self.ctx.sm
+        if self._page_no is None:
+            self._page_no = yield from sm.clustered_start_page(
+                plan.table, plan.index, plan.lo
+            )
+        num_pages = sm.num_pages(plan.table)
+        while not self._stopped and self._page_no < num_pages:
+            page = yield from sm.read_table_page(
+                plan.table, self._page_no, scan=True, stream=id(self)
+            )
+            self._page_no += 1
+            rows = page.rows()
+            yield from self.ctx.cpu(len(rows))
+            if plan.hi is not None and rows and self._key_fn(rows[0]) > plan.hi:
+                self._stopped = True
+                return None
+            if plan.lo is not None or plan.hi is not None:
+                rows = [
+                    row
+                    for row in rows
+                    if (plan.lo is None or self._key_fn(row) >= plan.lo)
+                    and (plan.hi is None or self._key_fn(row) <= plan.hi)
+                ]
+            if self._pred is not None:
+                rows = [row for row in rows if self._pred(row)]
+            if self._proj is not None:
+                rows = [self._proj(row) for row in rows]
+            if rows:
+                return rows
+        return None
+
+    def next_batch(self):
+        if self._clustered:
+            batch = yield from self._next_clustered_batch()
+            return batch
+        if self._rids is None:
+            yield from self._probe()
+        rids = self._rids
+        out: List[tuple] = []
+        while self._cursor < len(rids) and not out:
+            # Group consecutive RIDs on the same page into one fetch.
+            block = rids[self._cursor].block_no
+            page = yield from self.ctx.sm.read_table_page(
+                self.plan.table, block, scan=True, stream=id(self)
+            )
+            group: List[tuple] = []
+            while (
+                self._cursor < len(rids)
+                and rids[self._cursor].block_no == block
+            ):
+                row = page.get(rids[self._cursor].slot)
+                if row is not None:
+                    group.append(row)
+                self._cursor += 1
+            yield from self.ctx.cpu(len(group))
+            if self._pred is not None:
+                group = [row for row in group if self._pred(row)]
+            if self._proj is not None:
+                group = [self._proj(row) for row in group]
+            out.extend(group)
+        return out or None
+
+
+class FilterOp(Operator):
+    """Residual predicate filter."""
+
+    def __init__(self, ctx: ExecContext, plan: Filter, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        self._pred = plan.predicate.bind(child.schema)
+
+    def next_batch(self):
+        while True:
+            batch = yield from self.child.next_batch()
+            if batch is None:
+                return None
+            yield from self.ctx.cpu(len(batch))
+            kept = [row for row in batch if self._pred(row)]
+            if kept:
+                return kept
+
+
+class ProjectOp(Operator):
+    def __init__(self, ctx: ExecContext, plan: Project, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        if plan.exprs is None:
+            self._fn = child.schema.projector(plan.names)
+        else:
+            bound = [e.bind(child.schema) for e in plan.exprs]
+            self._fn = lambda row: tuple(fn(row) for fn in bound)
+
+    def next_batch(self):
+        batch = yield from self.child.next_batch()
+        if batch is None:
+            return None
+        yield from self.ctx.cpu(len(batch))
+        return [self._fn(row) for row in batch]
+
+
+class SortOp(Operator):
+    """External merge sort with a work-memory budget.
+
+    Runs of ``work_mem_tuples`` rows are sorted in memory and spilled to
+    temp files; a final k-way merge streams the result.  When the input
+    fits in memory no temp I/O is charged.
+    """
+
+    def __init__(self, ctx: ExecContext, plan: Sort, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        self.keys = plan.keys
+        self.descending = plan.descending
+        self._key = child.schema.projector(plan.keys)
+        self._sorted: Optional[List[tuple]] = None  # in-memory path
+        self._merge: Optional[Generator] = None  # external path
+        self._runs: List = []
+        self._done = False
+
+    def _sort_cost(self, n: int) -> Generator:
+        import math
+
+        comparisons = n * max(1.0, math.log2(max(2, n)))
+        yield from self.ctx.cpu(
+            int(comparisons), factor=self.ctx.host.config.sort_cpu_factor
+        )
+
+    def _build(self):
+        budget = self.ctx.work_mem_tuples
+        buffer: List[tuple] = []
+        while True:
+            batch = yield from self.child.next_batch()
+            if batch is None:
+                break
+            buffer.extend(batch)
+            if len(buffer) >= budget:
+                yield from self._spill(buffer)
+                buffer = []
+        if not self._runs:
+            yield from self._sort_cost(len(buffer))
+            buffer.sort(key=self._key, reverse=self.descending)
+            self._sorted = buffer
+            return
+        if buffer:
+            yield from self._spill(buffer)
+
+    def _spill(self, rows: List[tuple]):
+        yield from self._sort_cost(len(rows))
+        rows.sort(key=self._key, reverse=self.descending)
+        run = self.ctx.sm.create_temp_file(
+            self.schema.row_width, label="sortrun"
+        )
+        yield from self.ctx.sm.write_run(run, rows)
+        self._runs.append(run)
+
+    def _run_reader(self, run):
+        """Sub-coroutine factory: stream one run's rows page by page."""
+        for block in range(run.num_pages):
+            page = yield from self.ctx.sm.read_temp_page(run, block)
+            for row in page.rows():
+                yield ("row", row)
+
+    def _merged_rows(self):
+        """Coroutine: k-way merge over spilled runs, yielding ('row', r)."""
+        sign = -1 if self.descending else 1
+
+        readers = [self._run_reader(run) for run in self._runs]
+        heads: List = []
+        for i, reader in enumerate(readers):
+            row = yield from self._advance(reader)
+            if row is not None:
+                heads.append((self._rank(row, sign), i, row))
+        heapq.heapify(heads)
+        while heads:
+            _rank, i, row = heapq.heappop(heads)
+            yield ("row", row)
+            nxt = yield from self._advance(readers[i])
+            if nxt is not None:
+                heapq.heappush(heads, (self._rank(nxt, sign), i, nxt))
+
+    def _rank(self, row, sign):
+        key = self._key(row)
+        if sign == 1:
+            return key
+        return tuple(_Neg(part) for part in key)
+
+    @staticmethod
+    def _advance(reader):
+        """Pull the next ('row', r) from a sub-coroutine, forwarding sim
+        events; returns the row or None at exhaustion."""
+        try:
+            item = next(reader)
+        except StopIteration:
+            return None
+        while True:
+            if isinstance(item, tuple) and item and item[0] == "row":
+                return item[1]
+            value = yield item
+            try:
+                item = reader.send(value)
+            except StopIteration:
+                return None
+
+    def next_batch(self):
+        if self._done:
+            return None
+        if self._sorted is None and self._merge is None:
+            yield from self._build()
+            if self._runs:
+                self._merge = self._merged_rows()
+        if self._sorted is not None:
+            self._done = True
+            for run in self._runs:
+                self.ctx.sm.drop_temp_file(run)
+            return self._sorted or None
+        out: List[tuple] = []
+        while len(out) < 1024:
+            row = yield from self._advance(self._merge)
+            if row is None:
+                self._done = True
+                for run in self._runs:
+                    self.ctx.sm.drop_temp_file(run)
+                break
+            out.append(row)
+        if out:
+            yield from self.ctx.cpu(len(out))
+        return out or None
+
+
+class _Neg:
+    """Ordering inverter for descending sort keys in heap merges."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return other.value == self.value
+
+
+class HashJoinOp(Operator):
+    """Hash join: build on the left input, probe with the right.
+
+    When the build side exceeds the memory budget, both sides are
+    partitioned to temp files (Grace-style) and partition pairs are
+    joined in memory.
+    """
+
+    def __init__(self, ctx: ExecContext, plan: HashJoin,
+                 left: Operator, right: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.left = left
+        self.right = right
+        self._lkey = left.schema.projector([plan.left_key])
+        self._rkey = right.schema.projector([plan.right_key])
+        self._table: Optional[Dict] = None
+        self._partitioned = False
+        self._lparts: List = []
+        self._rparts: List = []
+        self._part_iter = None
+        self._pending: List[tuple] = []
+        self._done = False
+
+    def _build(self):
+        budget = self.ctx.work_mem_tuples
+        table: Dict[Any, List[tuple]] = {}
+        count = 0
+        overflow: List[tuple] = []
+        while True:
+            batch = yield from self.left.next_batch()
+            if batch is None:
+                break
+            yield from self.ctx.cpu(len(batch))
+            count += len(batch)
+            if count > budget and not self._partitioned:
+                self._partitioned = True
+            if self._partitioned:
+                overflow.extend(batch)
+            else:
+                for row in batch:
+                    table.setdefault(self._lkey(row), []).append(row)
+        if not self._partitioned:
+            self._table = table
+            return
+        # Spill: rows already hashed plus the overflow go to partitions.
+        all_rows = [row for rows in table.values() for row in rows]
+        all_rows.extend(overflow)
+        nparts = max(
+            2, -(-len(all_rows) // max(1, self.ctx.work_mem_tuples // 2))
+        )
+        self._lparts = yield from self._partition(
+            all_rows, self._lkey, nparts, "hjL"
+        )
+        rrows = yield from self.right.drain()
+        self._rparts = yield from self._partition(
+            rrows, self._rkey, nparts, "hjR"
+        )
+        self._part_iter = iter(range(nparts))
+
+    def _partition(self, rows, key, nparts, label):
+        buckets: List[List[tuple]] = [[] for _ in range(nparts)]
+        for row in rows:
+            buckets[hash(key(row)) % nparts].append(row)
+        yield from self.ctx.cpu(len(rows))
+        parts = []
+        for bucket in buckets:
+            part = self.ctx.sm.create_temp_file(64, label=label)
+            yield from self.ctx.sm.write_run(part, bucket)
+            parts.append(part)
+        return parts
+
+    def _read_part(self, part):
+        rows: List[tuple] = []
+        for block in range(part.num_pages):
+            page = yield from self.ctx.sm.read_temp_page(part, block)
+            rows.extend(page.rows())
+        return rows
+
+    def next_batch(self):
+        if self._done:
+            return None
+        if self._table is None and not self._partitioned:
+            yield from self._build()
+        if self._pending:
+            out, self._pending = self._pending[:1024], self._pending[1024:]
+            return out
+        if not self._partitioned:
+            table = self._table
+            while True:
+                batch = yield from self.right.next_batch()
+                if batch is None:
+                    self._done = True
+                    return None
+                yield from self.ctx.cpu(len(batch))
+                out: List[tuple] = []
+                for rrow in batch:
+                    for lrow in table.get(self._rkey(rrow), ()):
+                        out.append(lrow + rrow)
+                if out:
+                    return out
+        # Partitioned path: join one partition pair at a time.
+        while True:
+            if self._pending:
+                out = self._pending[:1024]
+                self._pending = self._pending[1024:]
+                return out
+            try:
+                p = next(self._part_iter)
+            except StopIteration:
+                self._done = True
+                for part in self._lparts + self._rparts:
+                    self.ctx.sm.drop_temp_file(part)
+                return None
+            lrows = yield from self._read_part(self._lparts[p])
+            rrows = yield from self._read_part(self._rparts[p])
+            yield from self.ctx.cpu(len(lrows) + len(rrows))
+            table: Dict[Any, List[tuple]] = {}
+            for row in lrows:
+                table.setdefault(self._lkey(row), []).append(row)
+            for rrow in rrows:
+                for lrow in table.get(self._rkey(rrow), ()):
+                    self._pending.append(lrow + rrow)
+
+
+class MergeJoinOp(Operator):
+    """Merge join over inputs already sorted on the join keys."""
+
+    def __init__(self, ctx: ExecContext, plan: MergeJoin,
+                 left: Operator, right: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.left = left
+        self.right = right
+        self._lkey = left.schema.projector([plan.left_key])
+        self._rkey = right.schema.projector([plan.right_key])
+        self._lbuf: List[tuple] = []
+        self._rbuf: List[tuple] = []
+        self._lend = False
+        self._rend = False
+        self._done = False
+
+    def _fill_left(self):
+        while not self._lbuf and not self._lend:
+            batch = yield from self.left.next_batch()
+            if batch is None:
+                self._lend = True
+            else:
+                self._lbuf.extend(batch)
+
+    def _fill_right(self):
+        while not self._rbuf and not self._rend:
+            batch = yield from self.right.next_batch()
+            if batch is None:
+                self._rend = True
+            else:
+                self._rbuf.extend(batch)
+
+    def next_batch(self):
+        if self._done:
+            return None
+        out: List[tuple] = []
+        while not out:
+            yield from self._fill_left()
+            yield from self._fill_right()
+            if (self._lend and not self._lbuf) or (
+                self._rend and not self._rbuf
+            ):
+                self._done = True
+                return None
+            lkey = self._lkey(self._lbuf[0])
+            rkey = self._rkey(self._rbuf[0])
+            if lkey < rkey:
+                self._lbuf.pop(0)
+            elif rkey < lkey:
+                self._rbuf.pop(0)
+            else:
+                # Gather the full duplicate groups on both sides.
+                lgroup = yield from self._take_group(
+                    self._lbuf, self._lkey, lkey, self._fill_left, "_lend"
+                )
+                rgroup = yield from self._take_group(
+                    self._rbuf, self._rkey, rkey, self._fill_right, "_rend"
+                )
+                yield from self.ctx.cpu(len(lgroup) * len(rgroup))
+                for lrow in lgroup:
+                    for rrow in rgroup:
+                        out.append(lrow + rrow)
+        return out
+
+    def _take_group(self, buf, key, value, fill, end_attr):
+        group: List[tuple] = []
+        while True:
+            while buf and key(buf[0]) == value:
+                group.append(buf.pop(0))
+            if buf or getattr(self, end_attr):
+                return group
+            yield from fill()
+            if not buf:
+                return group
+
+
+class NLJoinOp(Operator):
+    """Block nested-loop join: the right side is materialised to a temp
+    file once, then rescanned for every left batch."""
+
+    def __init__(self, ctx: ExecContext, plan: NLJoin,
+                 left: Operator, right: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.left = left
+        self.right = right
+        self._pred = plan.predicate.bind(self.schema)
+        self._right_mat = None
+        self._done = False
+
+    def _materialise_right(self):
+        rows = yield from self.right.drain()
+        mat = self.ctx.sm.create_temp_file(
+            self.right.schema.row_width, label="nlj"
+        )
+        yield from self.ctx.sm.write_run(mat, rows)
+        self._right_mat = mat
+
+    def next_batch(self):
+        if self._done:
+            return None
+        if self._right_mat is None:
+            yield from self._materialise_right()
+        while True:
+            batch = yield from self.left.next_batch()
+            if batch is None:
+                self._done = True
+                self.ctx.sm.drop_temp_file(self._right_mat)
+                return None
+            out: List[tuple] = []
+            for block in range(self._right_mat.num_pages):
+                page = yield from self.ctx.sm.read_temp_page(
+                    self._right_mat, block
+                )
+                rrows = page.rows()
+                yield from self.ctx.cpu(len(batch) * len(rrows))
+                for lrow in batch:
+                    for rrow in rrows:
+                        joined = lrow + rrow
+                        if self._pred(joined):
+                            out.append(joined)
+            if out:
+                return out
+
+
+class LimitOp(Operator):
+    """LIMIT/OFFSET: stop pulling once satisfied."""
+
+    def __init__(self, ctx: ExecContext, plan: Limit, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        self._to_skip = plan.offset
+        self._remaining = plan.count
+
+    def next_batch(self):
+        while self._remaining > 0:
+            batch = yield from self.child.next_batch()
+            if batch is None:
+                return None
+            if self._to_skip:
+                drop = min(self._to_skip, len(batch))
+                batch = batch[drop:]
+                self._to_skip -= drop
+            if not batch:
+                continue
+            batch = batch[: self._remaining]
+            self._remaining -= len(batch)
+            return batch
+        return None
+
+
+class DistinctOp(Operator):
+    """Streaming duplicate elimination (first occurrence wins)."""
+
+    def __init__(self, ctx: ExecContext, plan: Distinct, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        self._seen = set()
+
+    def next_batch(self):
+        while True:
+            batch = yield from self.child.next_batch()
+            if batch is None:
+                return None
+            yield from self.ctx.cpu(len(batch))
+            fresh = []
+            for row in batch:
+                if row not in self._seen:
+                    self._seen.add(row)
+                    fresh.append(row)
+            if fresh:
+                return fresh
+
+
+class SemiJoinOp(Operator):
+    """EXISTS / NOT EXISTS: stream left rows by membership of their key
+    in the right input's key set."""
+
+    def __init__(self, ctx: ExecContext, plan, left: Operator,
+                 right: Operator, anti: bool = False):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.left = left
+        self.right = right
+        self.anti = anti
+        self._lkey = left.schema.projector([plan.left_key])
+        self._rkey = right.schema.projector([plan.right_key])
+        self._keys = None
+
+    def _build(self):
+        keys = set()
+        while True:
+            batch = yield from self.right.next_batch()
+            if batch is None:
+                break
+            yield from self.ctx.cpu(len(batch))
+            for row in batch:
+                keys.add(self._rkey(row))
+        self._keys = keys
+
+    def next_batch(self):
+        if self._keys is None:
+            yield from self._build()
+        while True:
+            batch = yield from self.left.next_batch()
+            if batch is None:
+                return None
+            yield from self.ctx.cpu(len(batch))
+            if self.anti:
+                kept = [r for r in batch if self._lkey(r) not in self._keys]
+            else:
+                kept = [r for r in batch if self._lkey(r) in self._keys]
+            if kept:
+                return kept
+
+
+class LeftOuterJoinOp(Operator):
+    """Hash left-outer join: build the right side, pad misses with None."""
+
+    def __init__(self, ctx: ExecContext, plan: LeftOuterJoin,
+                 left: Operator, right: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.left = left
+        self.right = right
+        self._lkey = left.schema.projector([plan.left_key])
+        self._rkey = right.schema.projector([plan.right_key])
+        self._pad = (None,) * len(right.schema)
+        self._table = None
+
+    def _build(self):
+        table: Dict[Any, List[tuple]] = {}
+        while True:
+            batch = yield from self.right.next_batch()
+            if batch is None:
+                break
+            yield from self.ctx.cpu(len(batch))
+            for row in batch:
+                table.setdefault(self._rkey(row), []).append(row)
+        self._table = table
+
+    def next_batch(self):
+        if self._table is None:
+            yield from self._build()
+        while True:
+            batch = yield from self.left.next_batch()
+            if batch is None:
+                return None
+            yield from self.ctx.cpu(len(batch))
+            out: List[tuple] = []
+            for lrow in batch:
+                matches = self._table.get(self._lkey(lrow))
+                if matches:
+                    for rrow in matches:
+                        out.append(lrow + rrow)
+                else:
+                    out.append(lrow + self._pad)
+            if out:
+                return out
+
+
+class AggregateOp(Operator):
+    """Single-group aggregation: drains the child, emits one row."""
+
+    def __init__(self, ctx: ExecContext, plan: Aggregate, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        self.specs, self._fns = bind_aggregates(plan.aggs, child.schema)
+        self._done = False
+
+    def next_batch(self):
+        if self._done:
+            return None
+        states = [spec.make_state() for spec in self.specs]
+        while True:
+            batch = yield from self.child.next_batch()
+            if batch is None:
+                break
+            yield from self.ctx.cpu(len(batch) * len(states))
+            for row in batch:
+                for state, fn in zip(states, self._fns):
+                    state.add(fn(row))
+        self._done = True
+        return [tuple(state.result() for state in states)]
+
+
+class GroupByOp(Operator):
+    """Hash grouping: drains the child, emits one row per group."""
+
+    def __init__(self, ctx: ExecContext, plan: GroupBy, child: Operator):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.child = child
+        self.specs, self._fns = bind_aggregates(plan.aggs, child.schema)
+        self._group = child.schema.projector(plan.group_cols)
+        self._result: Optional[List[tuple]] = None
+        self._cursor = 0
+
+    def _consume(self):
+        groups: Dict[tuple, list] = {}
+        while True:
+            batch = yield from self.child.next_batch()
+            if batch is None:
+                break
+            yield from self.ctx.cpu(len(batch) * max(1, len(self.specs)))
+            for row in batch:
+                key = self._group(row)
+                states = groups.get(key)
+                if states is None:
+                    states = [spec.make_state() for spec in self.specs]
+                    groups[key] = states
+                for state, fn in zip(states, self._fns):
+                    state.add(fn(row))
+        self._result = [
+            key + tuple(state.result() for state in states)
+            for key, states in sorted(groups.items())
+        ]
+
+    def next_batch(self):
+        if self._result is None:
+            yield from self._consume()
+        if self._cursor >= len(self._result):
+            return None
+        out = self._result[self._cursor:self._cursor + 1024]
+        self._cursor += len(out)
+        return out
+
+
+class InsertOp(Operator):
+    """Insert rows under an exclusive table lock (section 4.3.4)."""
+
+    def __init__(self, ctx: ExecContext, plan: InsertRows):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.plan = plan
+        self._done = False
+
+    def next_batch(self):
+        if self._done:
+            return None
+        self._done = True
+        owner = self.ctx.owner or id(self)
+        yield self.ctx.sm.locks.acquire(
+            owner, self.plan.table, LockMode.EXCLUSIVE
+        )
+        try:
+            for row in self.plan.rows:
+                yield from self.ctx.sm.insert_row(self.plan.table, row)
+        finally:
+            self.ctx.sm.locks.release(owner, self.plan.table)
+        return [(len(self.plan.rows),)]
+
+
+class UpdateOp(Operator):
+    """Predicate update under an exclusive table lock."""
+
+    def __init__(self, ctx: ExecContext, plan: UpdateRows):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.plan = plan
+        self._done = False
+
+    def next_batch(self):
+        if self._done:
+            return None
+        self._done = True
+        owner = self.ctx.owner or id(self)
+        table = self.plan.table
+        schema = self.ctx.sm.catalog.table_schema(table)
+        pred = self.plan.predicate.bind(schema) if self.plan.predicate else None
+        yield self.ctx.sm.locks.acquire(owner, table, LockMode.EXCLUSIVE)
+        changed = 0
+        try:
+            info = self.ctx.sm.catalog.table(table)
+            for block in range(info.num_pages):
+                page = yield from self.ctx.sm.read_table_page(table, block)
+                for slot, row in list(page.items()):
+                    if pred is None or pred(row):
+                        from repro.storage.page import RID
+
+                        yield from self.ctx.sm.update_row(
+                            table, RID(block, slot), self.plan.apply(row)
+                        )
+                        changed += 1
+        finally:
+            self.ctx.sm.locks.release(owner, table)
+        return [(changed,)]
+
+
+class DeleteOp(Operator):
+    """Predicate delete under an exclusive table lock."""
+
+    def __init__(self, ctx: ExecContext, plan: DeleteRows):
+        super().__init__(plan.output_schema(ctx.sm.catalog))
+        self.ctx = ctx
+        self.plan = plan
+        self._done = False
+
+    def next_batch(self):
+        if self._done:
+            return None
+        self._done = True
+        owner = self.ctx.owner or id(self)
+        table = self.plan.table
+        schema = self.ctx.sm.catalog.table_schema(table)
+        pred = self.plan.predicate.bind(schema) if self.plan.predicate else None
+        yield self.ctx.sm.locks.acquire(owner, table, LockMode.EXCLUSIVE)
+        removed = 0
+        try:
+            info = self.ctx.sm.catalog.table(table)
+            for block in range(info.num_pages):
+                page = yield from self.ctx.sm.read_table_page(table, block)
+                for slot, row in list(page.items()):
+                    if pred is None or pred(row):
+                        from repro.storage.page import RID
+
+                        yield from self.ctx.sm.delete_row(
+                            table, RID(block, slot)
+                        )
+                        removed += 1
+        finally:
+            self.ctx.sm.locks.release(owner, table)
+        return [(removed,)]
+
+
+def build_operator(plan: PlanNode, ctx: ExecContext) -> Operator:
+    """Compile a logical plan tree into an iterator operator tree."""
+    if isinstance(plan, TableScan):
+        return ScanOp(ctx, plan)
+    if isinstance(plan, IndexScan):
+        return IndexScanOp(ctx, plan)
+    if isinstance(plan, Filter):
+        return FilterOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, Project):
+        return ProjectOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, Sort):
+        return SortOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, HashJoin):
+        return HashJoinOp(
+            ctx, plan,
+            build_operator(plan.left, ctx),
+            build_operator(plan.right, ctx),
+        )
+    if isinstance(plan, MergeJoin):
+        return MergeJoinOp(
+            ctx, plan,
+            build_operator(plan.left, ctx),
+            build_operator(plan.right, ctx),
+        )
+    if isinstance(plan, NLJoin):
+        return NLJoinOp(
+            ctx, plan,
+            build_operator(plan.left, ctx),
+            build_operator(plan.right, ctx),
+        )
+    if isinstance(plan, Limit):
+        return LimitOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, Distinct):
+        return DistinctOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, SemiJoin):
+        return SemiJoinOp(
+            ctx, plan,
+            build_operator(plan.left, ctx),
+            build_operator(plan.right, ctx),
+            anti=False,
+        )
+    if isinstance(plan, AntiJoin):
+        return SemiJoinOp(
+            ctx, plan,
+            build_operator(plan.left, ctx),
+            build_operator(plan.right, ctx),
+            anti=True,
+        )
+    if isinstance(plan, LeftOuterJoin):
+        return LeftOuterJoinOp(
+            ctx, plan,
+            build_operator(plan.left, ctx),
+            build_operator(plan.right, ctx),
+        )
+    if isinstance(plan, Aggregate):
+        return AggregateOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, GroupBy):
+        return GroupByOp(ctx, plan, build_operator(plan.child, ctx))
+    if isinstance(plan, InsertRows):
+        return InsertOp(ctx, plan)
+    if isinstance(plan, UpdateRows):
+        return UpdateOp(ctx, plan)
+    if isinstance(plan, DeleteRows):
+        return DeleteOp(ctx, plan)
+    raise TypeError(f"no iterator operator for {type(plan).__name__}")

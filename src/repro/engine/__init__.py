@@ -1,0 +1,28 @@
+"""The QPipe engine: operator-centric, "one-operator, many-queries".
+
+This package implements the paper's core architecture (Figure 5b):
+
+* every relational operator is a :class:`~repro.engine.micro_engine.MicroEngine`
+  serving :class:`~repro.engine.packets.Packet` requests from a queue,
+* queries are split into packets by the
+  :class:`~repro.engine.dispatcher.PacketDispatcher`,
+* micro-engines communicate through bounded
+  :class:`~repro.engine.buffers.TupleBuffer` channels whose back-pressure
+  regulates dataflow, and
+* the OSP layer (:mod:`repro.osp`) attaches overlapping packets to
+  in-progress ones and pipelines output to all of them simultaneously.
+"""
+
+from repro.engine.buffers import FanOut, TupleBuffer
+from repro.engine.packets import Packet, PacketState, QueryContext
+from repro.engine.qpipe import QPipeEngine, QPipeConfig
+
+__all__ = [
+    "FanOut",
+    "Packet",
+    "PacketState",
+    "QPipeConfig",
+    "QPipeEngine",
+    "QueryContext",
+    "TupleBuffer",
+]

@@ -1,0 +1,180 @@
+"""The packet dispatcher.
+
+"Query plans pass through the packet dispatcher which creates as many
+packets as the nodes in the query tree and dispatches them to the
+corresponding micro-engines" (section 4.2).
+
+Besides creating and wiring packets, the dispatcher computes two
+properties the OSP coordinator relies on:
+
+* each node's canonical subtree signature (overlap detection), and
+* whether each node's *parent* is order-insensitive, which gates the
+  order-sensitive scan strategies of section 4.3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.buffers import FanOut, TupleBuffer
+from repro.engine.packets import Packet, PacketState, QueryContext
+from repro.relational.plans import (
+    Aggregate,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NLJoin,
+    PlanNode,
+    Project,
+    Sort,
+)
+
+#: plan-node op_name -> micro-engine name
+ENGINE_FOR_OP = {
+    "scan": "fscan",
+    "filter": "filter",
+    "iscan": "iscan",
+    "project": "project",
+    "sort": "sort",
+    "agg": "agg",
+    "groupby": "groupby",
+    "hashjoin": "hashjoin",
+    "mergejoin": "mergejoin",
+    "nljoin": "nljoin",
+    "semijoin": "semijoin",
+    "antijoin": "antijoin",
+    "outerjoin": "outerjoin",
+    "limit": "limit",
+    "distinct": "distinct",
+    "update": "update",
+}
+
+#: Parents that accept their input in any order.
+from repro.relational.plans import AntiJoin, Distinct, LeftOuterJoin, SemiJoin
+
+_ORDER_INSENSITIVE_PARENTS = (
+    Aggregate, AntiJoin, Distinct, GroupBy, HashJoin, LeftOuterJoin,
+    NLJoin, SemiJoin, Sort,
+)
+
+
+class PacketDispatcher:
+    """Builds, wires, and routes packets for one engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def dispatch(self, query: QueryContext) -> TupleBuffer:
+        """Create and enqueue all packets for *query*; returns the buffer
+        the client reads final results from."""
+        root = self.build_subtree(query, query.plan, parent=None,
+                                  parent_order_insensitive=True)
+        self.enqueue_tree(root)
+        return root.primary_output
+
+    def dispatch_subtree(self, query: QueryContext, plan: PlanNode) -> TupleBuffer:
+        """Dispatch a fresh packet tree for *plan* (merge-join restarts).
+
+        The new subtree may itself share in-progress work through OSP --
+        re-reading the non-shared relation can piggyback on anything
+        currently running.
+        """
+        root = self.build_subtree(query, plan, parent=None,
+                                  parent_order_insensitive=False)
+        self.enqueue_tree(root)
+        return root.primary_output
+
+    # ------------------------------------------------------------------
+    def build_subtree(
+        self,
+        query: QueryContext,
+        plan: PlanNode,
+        parent: Optional[Packet],
+        parent_order_insensitive: bool,
+    ) -> Packet:
+        engine_name = ENGINE_FOR_OP[plan.op_name]
+        catalog = query.sm.catalog
+        config = self.engine.config
+        primary = TupleBuffer(
+            self.engine.sim,
+            capacity_tuples=config.buffer_tuples,
+            name=f"q{query.query_id}:{plan.op_name}",
+        )
+        packet = Packet(
+            query=query,
+            plan=plan,
+            signature=plan.signature(catalog),
+            engine_name=engine_name,
+            parent=parent,
+            order_insensitive_parent=parent_order_insensitive,
+        )
+        primary.producer = packet
+        primary.consumer = parent
+        packet.output = FanOut(
+            self.engine.sim,
+            primary,
+            replay_tuples=config.replay_tuples,
+            name=f"q{query.query_id}:{plan.op_name}:out",
+        )
+        self.engine.register_buffer(primary)
+        query.packets.append(packet)
+
+        for child in plan.children:
+            child_packet = self.build_subtree(
+                query,
+                child,
+                parent=packet,
+                parent_order_insensitive=self._accepts_any_order(plan),
+            )
+            packet.children.append(child_packet)
+            packet.inputs.append(child_packet.primary_output)
+
+        # Section 4.3.2 eligibility: an ordered index scan feeding a
+        # merge-join whose own parent is order-insensitive may be split
+        # into two join passes when it cannot attach to an in-progress
+        # scan directly.
+        if isinstance(plan, MergeJoin) and packet.order_insensitive_parent:
+            for child_packet in packet.children:
+                if isinstance(child_packet.plan, IndexScan) and (
+                    child_packet.plan.ordered
+                ):
+                    sibling = (
+                        packet.children[1]
+                        if child_packet is packet.children[0]
+                        else packet.children[0]
+                    )
+                    child_packet.artifacts["mj_split"] = {
+                        "mergejoin": packet,
+                        "other_pages": self._estimate_pages(
+                            query, sibling.plan
+                        ),
+                    }
+        return packet
+
+    @staticmethod
+    def _accepts_any_order(plan: PlanNode) -> bool:
+        return isinstance(plan, _ORDER_INSENSITIVE_PARENTS)
+
+    @staticmethod
+    def _estimate_pages(query: QueryContext, plan: PlanNode) -> int:
+        """Worst-case page count of re-reading a subtree's base tables."""
+        from repro.relational.plans import TableScan, walk_plan
+
+        pages = 0
+        for node in walk_plan(plan):
+            if isinstance(node, (TableScan, IndexScan)):
+                pages += query.sm.num_pages(node.table)
+        return pages
+
+    # ------------------------------------------------------------------
+    def enqueue_tree(self, root: Packet) -> None:
+        """Enqueue packets top-down so OSP attaches prune whole subtrees
+        before any child starts running."""
+        stack = [root]
+        while stack:
+            packet = stack.pop(0)
+            if packet.state is PacketState.CREATED:
+                self.engine.engines[packet.engine_name].enqueue(packet)
+            stack.extend(packet.children)

@@ -1,0 +1,86 @@
+"""The aggregation micro-engines.
+
+* Single aggregates are a *full* overlap: no output exists until the very
+  end, so the generic sharing rule admits satellites for the operator's
+  whole lifetime (Figure 4a).
+* Group-by is *step* (it produces multiple results); hash grouping is
+  blocking here, so output starts only after input is consumed, and the
+  fan-out replay ring (buffering enhancement) keeps the window open a
+  while into emission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from repro.engine.buffers import SEGMENT_BOUNDARY
+from repro.engine.micro_engine import MicroEngine
+from repro.engine.packets import Packet
+from repro.relational.expressions import bind_aggregates
+
+OUT_BATCH = 1024
+
+
+class AggEngine(MicroEngine):
+    overlap_class = "full"
+
+    def serve(self, packet: Packet) -> Generator:
+        plan = packet.plan
+        query = packet.query
+        child_schema = plan.child.output_schema(self.engine.sm.catalog)
+        specs, fns = bind_aggregates(plan.aggs, child_schema)
+        states = [spec.make_state() for spec in specs]
+        source = packet.inputs[0]
+
+        packet.phase = "aggregate"
+        while True:
+            batch = yield from source.get()
+            if batch is None:
+                break
+            if batch is SEGMENT_BOUNDARY:
+                continue
+            yield from self.charge(packet, len(batch) * len(states))
+            for row in batch:
+                for state, fn in zip(states, fns):
+                    state.add(fn(row))
+        packet.phase = "emit"
+        yield from packet.output.put(
+            [tuple(state.result() for state in states)]
+        )
+
+
+class GroupByEngine(MicroEngine):
+    overlap_class = "step"
+
+    def serve(self, packet: Packet) -> Generator:
+        plan = packet.plan
+        query = packet.query
+        child_schema = plan.child.output_schema(self.engine.sm.catalog)
+        specs, fns = bind_aggregates(plan.aggs, child_schema)
+        group = child_schema.projector(plan.group_cols)
+        source = packet.inputs[0]
+
+        packet.phase = "group"
+        groups: Dict[tuple, list] = {}
+        while True:
+            batch = yield from source.get()
+            if batch is None:
+                break
+            if batch is SEGMENT_BOUNDARY:
+                continue
+            yield from self.charge(packet, len(batch) * max(1, len(specs)))
+            for row in batch:
+                key = group(row)
+                states = groups.get(key)
+                if states is None:
+                    states = [spec.make_state() for spec in specs]
+                    groups[key] = states
+                for state, fn in zip(states, fns):
+                    state.add(fn(row))
+        packet.phase = "emit"
+        result: List[tuple] = [
+            key + tuple(state.result() for state in states)
+            for key, states in sorted(groups.items())
+        ]
+        for start in range(0, len(result), OUT_BATCH):
+            yield from packet.output.put(result[start:start + OUT_BATCH])

@@ -1,0 +1,319 @@
+"""The index-scan micro-engine, including the section 4.3.2 strategies.
+
+Two access paths:
+
+* **Clustered** -- the heap file is stored in key order, so the scan
+  descends the B+tree once to find the starting page and then reads the
+  heap sequentially, emitting rows in key order ("clustered index scans
+  are similar to file scans", section 3.2).
+* **Unclustered** -- the paper's two phases: probe the index and build
+  the full matching RID list (*full* overlap), sort it by page number
+  (unless key order is required), then fetch the data pages.
+
+When an *ordered* index scan arrives too late to attach generically (the
+host has shipped output beyond its replay window) but its merge-join's
+parent is order-insensitive, the OSP coordinator applies the two-pass
+strategy of section 4.3.2: the newcomer piggybacks on the in-progress
+fetch from its current position to the end (segment A), then fetches the
+pages it missed (segment B), separated by a SEGMENT_BOUNDARY marker that
+tells the merge-join to restart its other input.  A worst-case cost
+check -- the non-shared relation is read twice -- gates the manoeuvre.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.engine.buffers import TupleBuffer
+from repro.engine.micro_engine import MicroEngine
+from repro.engine.packets import Packet, PacketState
+from repro.sim import ChannelClosed
+
+
+def _count_pages(pairs: List[Tuple]) -> int:
+    return len({rid.block_no for _key, rid in pairs})
+
+
+class IScanEngine(MicroEngine):
+    overlap_class = "full"  # phase 1; phase 2 is linear/spike
+
+    # ------------------------------------------------------------------
+    def serve(self, packet: Packet) -> Generator:
+        info = self.engine.sm.catalog.index(packet.plan.table,
+                                            packet.plan.index)
+        if info.clustered:
+            yield from self._serve_clustered(packet, info)
+        else:
+            yield from self._serve_unclustered(packet)
+
+    # -- helpers ----------------------------------------------------------
+    def _row_fns(self, packet: Packet):
+        sm = self.engine.sm
+        plan = packet.plan
+        base = sm.catalog.table_schema(plan.table)
+        pred = plan.predicate.bind(base) if plan.predicate else None
+        proj = (
+            base.projector(plan.project) if plan.project is not None else None
+        )
+        return pred, proj
+
+    @staticmethod
+    def _apply(rows, pred, proj):
+        if pred is not None:
+            rows = [row for row in rows if pred(row)]
+        if proj is not None:
+            rows = [proj(row) for row in rows]
+        return rows
+
+    # ------------------------------------------------------------------
+    # Clustered path
+    # ------------------------------------------------------------------
+    def _serve_clustered(self, packet: Packet, info) -> Generator:
+        sm = self.engine.sm
+        plan = packet.plan
+        pred, proj = self._row_fns(packet)
+        base = sm.catalog.table_schema(plan.table)
+        key_fn = sm._key_fn(base, info.key_columns)
+
+        packet.phase = "rid_list"
+        start_page = yield from self._locate_start_page(packet, info)
+        packet.artifacts["kind"] = "clustered"
+        packet.artifacts["start_page"] = start_page
+        packet.artifacts["cursor"] = start_page
+        packet.artifacts["key_fn"] = key_fn
+        packet.phase = "fetch"
+        yield from self._fetch_clustered(
+            packet, start_page, None, pred, proj, key_fn,
+            output=packet.output, track_cursor=True,
+        )
+
+    def _locate_start_page(self, packet: Packet, info) -> Generator:
+        """Coroutine: descend the tree for ``lo``; returns the heap page
+        where the range begins (0 for an unbounded scan)."""
+        plan = packet.plan
+        start = yield from self.engine.sm.clustered_start_page(
+            plan.table, plan.index, plan.lo
+        )
+        return start
+
+    def _fetch_clustered(
+        self,
+        packet: Packet,
+        start_page: int,
+        stop_page,
+        pred,
+        proj,
+        key_fn,
+        output,
+        track_cursor: bool,
+    ) -> Generator:
+        """Coroutine: sequential key-ordered heap read of
+        ``[start_page, stop_page)`` honouring the plan's key range."""
+        sm = self.engine.sm
+        plan = packet.plan
+        num_pages = sm.num_pages(plan.table)
+        end = num_pages if stop_page is None else stop_page
+        page_no = start_page
+        while page_no < end:
+            page = yield from sm.read_table_page(
+                plan.table, page_no, scan=True, stream=id(packet)
+            )
+            rows = page.rows()
+            yield from self.charge(packet, len(rows))
+            if plan.hi is not None and rows and key_fn(rows[0]) > plan.hi:
+                break
+            if plan.lo is not None or plan.hi is not None:
+                rows = [
+                    row
+                    for row in rows
+                    if (plan.lo is None or key_fn(row) >= plan.lo)
+                    and (plan.hi is None or key_fn(row) <= plan.hi)
+                ]
+            rows = self._apply(rows, pred, proj)
+            if rows:
+                yield from output.put(rows)
+            page_no += 1
+            if track_cursor:
+                packet.artifacts["cursor"] = page_no
+
+    # ------------------------------------------------------------------
+    # Unclustered path (the paper's two-phase scan)
+    # ------------------------------------------------------------------
+    def _serve_unclustered(self, packet: Packet) -> Generator:
+        sm = self.engine.sm
+        plan = packet.plan
+        pred, proj = self._row_fns(packet)
+        packet.phase = "rid_list"
+        pairs = yield from sm.index_range(
+            plan.table, plan.index, plan.lo, plan.hi
+        )
+        if not plan.ordered:
+            pairs = sorted(pairs, key=lambda kv: kv[1])  # by page number
+        packet.artifacts["kind"] = "rids"
+        packet.artifacts["pairs"] = pairs
+        packet.artifacts["cursor"] = 0
+        packet.phase = "fetch"
+        yield from self._fetch_rids(
+            packet, pairs, 0, len(pairs), pred, proj,
+            output=packet.output, track_cursor=True,
+        )
+
+    def _fetch_rids(
+        self,
+        packet: Packet,
+        pairs: List[Tuple],
+        start: int,
+        stop: int,
+        pred,
+        proj,
+        output,
+        track_cursor: bool = False,
+    ) -> Generator:
+        """Coroutine: fetch rows for ``pairs[start:stop]``, grouping
+        consecutive same-page RIDs into one page visit.
+
+        With ``track_cursor`` the cursor advances *after* each delivered
+        group -- the invariant the 4.3.2 attach relies on to bound its
+        prefix pass exactly.
+        """
+        sm = self.engine.sm
+        table = packet.plan.table
+        i = start
+        while i < stop:
+            block = pairs[i][1].block_no
+            page = yield from sm.read_table_page(
+                table, block, scan=True, stream=id(packet)
+            )
+            group: List[tuple] = []
+            j = i
+            while j < stop and pairs[j][1].block_no == block:
+                row = page.get(pairs[j][1].slot)
+                if row is not None:
+                    group.append(row)
+                j += 1
+            yield from self.charge(packet, len(group))
+            group = self._apply(group, pred, proj)
+            if group:
+                yield from output.put(group)
+            i = j
+            if track_cursor:
+                packet.artifacts["cursor"] = i
+
+    # ------------------------------------------------------------------
+    # OSP: generic sharing plus the order-sensitive split
+    # ------------------------------------------------------------------
+    def try_share(self, packet: Packet) -> bool:
+        if super().try_share(packet):
+            return True
+        return self._try_split_share(packet)
+
+    def _remaining_pages(self, host: Packet) -> int:
+        kind = host.artifacts.get("kind")
+        cursor = host.artifacts.get("cursor", 0)
+        if kind == "clustered":
+            total = self.engine.sm.num_pages(host.plan.table)
+            return max(0, total - cursor)
+        if kind == "rids":
+            return _count_pages(host.artifacts["pairs"][cursor:])
+        return 0
+
+    def _try_split_share(self, packet: Packet) -> bool:
+        split = packet.artifacts.get("mj_split")
+        if split is None:
+            return False
+        host = None
+        for candidate in self.active:
+            if candidate.query is packet.query:
+                continue
+            if candidate.signature != packet.signature:
+                continue
+            if candidate.phase != "fetch" or not candidate.active:
+                continue
+            host = candidate
+            break
+        if host is None:
+            return False
+        # Worst-case cost check (section 4.3.2): sharing saves the pages
+        # of the not-yet-fetched suffix but forces a second read of the
+        # non-shared relation.
+        saved = self._remaining_pages(host)
+        extra = split.get("other_pages", 0)
+        if saved <= extra:
+            self.engine.osp_stats.mj_splits_rejected += 1
+            return False
+
+        packet.state = PacketState.SATELLITE
+        packet.host = host
+        host.satellites.append(packet)
+        packet.cancel_subtree()
+        # Only one input of a merge-join may be segmented: with both
+        # sides split the two-pass union would no longer cover the full
+        # cross product of matches.  Disable the sibling's eligibility.
+        mergejoin = split["mergejoin"]
+        for sibling in mergejoin.children:
+            if sibling is not packet:
+                sibling.artifacts.pop("mj_split", None)
+        self.engine.osp_stats.mj_splits += 1
+        self.engine.osp_stats.record_attach(self.name, packet)
+        self.sim.spawn(
+            self._split_relay(host, packet), name="iscan-split-relay"
+        )
+        return True
+
+    def _split_relay(self, host: Packet, packet: Packet) -> Generator:
+        """Segment A from the host, a boundary marker, then segment B."""
+        pred, proj = self._row_fns(packet)
+        seg_a = TupleBuffer(
+            self.sim,
+            capacity_tuples=self.engine.config.buffer_tuples,
+            name=f"q{packet.query.query_id}:iscan-segA",
+            producer=host,
+            consumer=packet,
+        )
+        self.engine.register_buffer(seg_a)
+        boundary = {}
+
+        def capture():
+            boundary["kind"] = host.artifacts.get("kind")
+            boundary["cursor"] = host.artifacts.get("cursor", 0)
+            boundary["pairs"] = host.artifacts.get("pairs")
+            boundary["start_page"] = host.artifacts.get("start_page", 0)
+            boundary["key_fn"] = host.artifacts.get("key_fn")
+
+        yield from host.output.attach(seg_a, replay=False, on_attached=capture)
+        out = packet.primary_output
+        try:
+            while True:
+                batch = yield from seg_a.get()
+                if batch is None:
+                    break
+                yield from out.put(batch)
+            yield from out.put_marker()
+            # Segment B: the pages the satellite missed before attaching.
+            if boundary["kind"] == "clustered":
+                yield from self._fetch_clustered(
+                    packet,
+                    boundary["start_page"],
+                    boundary["cursor"],
+                    pred,
+                    proj,
+                    boundary["key_fn"],
+                    output=out,
+                    track_cursor=False,
+                )
+            else:
+                yield from self._fetch_rids(
+                    packet,
+                    boundary["pairs"],
+                    0,
+                    boundary["cursor"],
+                    pred,
+                    proj,
+                    output=out,
+                )
+        except ChannelClosed:
+            pass
+        finally:
+            out.close()
+            if packet.state is PacketState.SATELLITE:
+                packet.state = PacketState.DONE

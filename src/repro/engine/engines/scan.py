@@ -1,0 +1,84 @@
+"""The file-scan micro-engine.
+
+With OSP enabled, unordered scans are served by the circular-scan manager
+(section 4.3.1): one dedicated scanner thread per relation, all concurrent
+scan packets attached as consumers with their own termination points.
+
+Ordered scans have a *spike* window of opportunity: they run standalone
+(the 4.3.2 strategies for exploiting in-progress scans under merge joins
+live in the index-scan micro-engine, where the paper's Figure 9 workload
+puts them).
+
+With OSP disabled (the Baseline configuration), every scan packet reads
+its pages independently -- sharing happens only in the buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.engine.micro_engine import MicroEngine
+from repro.engine.packets import Packet
+from repro.storage.locks import LockMode
+
+
+class FScanEngine(MicroEngine):
+    overlap_class = "linear"
+
+    def __init__(self, name: str, engine, workers: int = 64):
+        super().__init__(name, engine, workers=workers)
+        # Created lazily so the engine facade can finish constructing.
+        self._circular = None
+
+    @property
+    def circular(self):
+        if self._circular is None:
+            from repro.osp.circular import CircularScanManager
+
+            self._circular = CircularScanManager(self.engine)
+        return self._circular
+
+    # ------------------------------------------------------------------
+    def try_share(self, packet: Packet) -> bool:
+        # Circular scans subsume queue-time sharing for unordered scans:
+        # the packet always goes through serve(), which attaches it to the
+        # shared scanner.  Exact-signature sharing would also be legal but
+        # the circular path is strictly more general (different predicates
+        # still share), so scans never attach at the queue.
+        return False
+
+    def serve(self, packet: Packet) -> Generator:
+        packet.phase = "scan"
+        if self.engine.osp_enabled and not packet.plan.ordered:
+            attached = yield from self.circular.serve(packet)
+            if attached:
+                return
+        yield from self._standalone_scan(packet)
+
+    # ------------------------------------------------------------------
+    def _standalone_scan(self, packet: Packet) -> Generator:
+        sm = self.engine.sm
+        plan = packet.plan
+        base = sm.catalog.table_schema(plan.table)
+        pred = plan.predicate.bind(base) if plan.predicate else None
+        proj = (
+            base.projector(plan.project) if plan.project is not None else None
+        )
+        # Section 4.3.4: a scan waits while the table is locked for writing.
+        owner = ("scan", packet.query.query_id, id(packet))
+        yield sm.locks.acquire(owner, plan.table, LockMode.SHARED)
+        try:
+            for block in range(sm.num_pages(plan.table)):
+                page = yield from sm.read_table_page(
+                    plan.table, block, scan=True, stream=id(packet)
+                )
+                rows = page.rows()
+                yield from self.charge(packet, len(rows))
+                if pred is not None:
+                    rows = [row for row in rows if pred(row)]
+                if proj is not None:
+                    rows = [proj(row) for row in rows]
+                if rows:
+                    yield from packet.output.put(rows)
+        finally:
+            sm.locks.release(owner, plan.table)

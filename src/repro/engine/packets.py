@@ -1,0 +1,119 @@
+"""Query packets and per-query context.
+
+"In QPipe, a query packet represents work a query needs to perform at a
+given micro-engine" (section 4.3).  The packet dispatcher creates one
+packet per plan node; each packet knows its input buffers (fed by child
+packets), its fan-out output, and its canonical signature -- the encoded
+argument list that overlap detection compares.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.engine.buffers import FanOut, TupleBuffer
+from repro.relational.plans import PlanNode
+
+
+class PacketState(enum.Enum):
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    #: Attached to a host packet; its own operator never runs.
+    SATELLITE = "satellite"
+    #: Terminated because an ancestor became a satellite.
+    CANCELLED = "cancelled"
+
+
+@dataclass(eq=False)
+class QueryContext:
+    """Execution context shared by all packets of one query."""
+
+    query_id: int
+    plan: PlanNode
+    sm: Any  # StorageManager
+    host_machine: Any  # Host
+    work_mem_tuples: int = 50_000
+    submitted_at: float = 0.0
+    packets: List["Packet"] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def cpu(self, tuples: int, factor: float = 1.0) -> Generator:
+        """Coroutine: charge CPU for processing *tuples* tuples."""
+        cost = tuples * self.host_machine.config.cpu_per_tuple * factor
+        yield from self.host_machine.cpu.burst(cost)
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        self.stats[key] = self.stats.get(key, 0.0) + amount
+
+
+@dataclass(eq=False)
+class Packet:
+    """Work for one query at one micro-engine."""
+
+    query: QueryContext
+    plan: PlanNode
+    signature: str
+    engine_name: str
+    inputs: List[TupleBuffer] = field(default_factory=list)
+    output: Optional[FanOut] = None
+    children: List["Packet"] = field(default_factory=list)
+    parent: Optional["Packet"] = None
+    state: PacketState = PacketState.CREATED
+    #: The host this packet attached to (when it became a satellite).
+    host: Optional["Packet"] = None
+    satellites: List["Packet"] = field(default_factory=list)
+    #: The worker process currently serving this packet.
+    worker: Any = None
+    #: Operator phase label maintained by the serving micro-engine
+    #: ("build"/"probe", "sort"/"emit", ...), consulted by WoP checks.
+    phase: str = "pending"
+    #: True when the packet's parent does not require this node's output
+    #: in any particular order (enables the section 4.3.2 strategies).
+    order_insensitive_parent: bool = False
+    #: Artifacts a host retains for late satellites (e.g. the sorted
+    #: result a Sort keeps so phase-2 arrivals can re-emit it).
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        return self.state in (PacketState.QUEUED, PacketState.RUNNING)
+
+    @property
+    def primary_output(self) -> TupleBuffer:
+        return self.output.primary
+
+    def descendants(self) -> List["Packet"]:
+        out: List[Packet] = []
+        stack = list(self.children)
+        while stack:
+            packet = stack.pop()
+            out.append(packet)
+            stack.extend(packet.children)
+        return out
+
+    def cancel_subtree(self) -> None:
+        """Terminate every descendant packet (Figure 6b, step 2).
+
+        Running workers are interrupted; queued packets are flagged so
+        their micro-engine skips them; the buffers between them are closed
+        so nothing blocks forever.
+        """
+        for packet in self.descendants():
+            if packet.state in (PacketState.DONE, PacketState.CANCELLED):
+                continue
+            packet.state = PacketState.CANCELLED
+            if packet.worker is not None and packet.worker.alive:
+                packet.worker.interrupt("subtree cancelled by OSP attach")
+                packet.worker = None
+            if packet.output is not None:
+                packet.output.close()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<Packet q{self.query.query_id}:{self.engine_name} "
+            f"{self.state.value} {self.phase}>"
+        )

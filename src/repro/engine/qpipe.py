@@ -1,0 +1,174 @@
+"""The QPipe engine facade.
+
+Construction instantiates every micro-engine with its worker pool, the
+packet dispatcher, the OSP statistics block, and the deadlock detector.
+Clients call :meth:`QPipeEngine.execute` (a coroutine) per query; the
+engine splits the plan into packets and the client reads final results
+from the root buffer -- exactly the lifecycle of section 4.4.
+
+``osp_enabled=False`` turns every sharing mechanism off, yielding the
+paper's **Baseline** system ("the BerkeleyDB-based QPipe implementation
+with OSP disabled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.engine.buffers import SEGMENT_BOUNDARY, TupleBuffer
+from repro.engine.dispatcher import PacketDispatcher
+from repro.engine.engines import build_engines
+from repro.engine.packets import QueryContext
+from repro.engine.result_cache import ResultCache
+from repro.osp.deadlock import DeadlockDetector
+from repro.osp.stats import OspStats
+from repro.relational.plans import PlanNode
+from repro.relational.plans import walk_plan as _walk
+from repro.results import QueryResult
+from repro.storage.manager import StorageManager
+
+
+@dataclass
+class QPipeConfig:
+    """Engine-wide knobs."""
+
+    #: Capacity of each intermediate buffer, in tuples.
+    buffer_tuples: int = 4096
+    #: Fan-out replay ring size (the Figure 4b buffering enhancement).
+    replay_tuples: int = 2048
+    #: Worker threads per micro-engine (the scan engine gets 4x).
+    workers: int = 8
+    #: Master OSP switch; False gives the paper's Baseline system.
+    osp_enabled: bool = True
+    #: Seconds between deadlock-detector sweeps while queries are active.
+    deadlock_period: float = 1.0
+    #: Per-query work memory (sort heaps / hash tables), in tuples.
+    work_mem_tuples: int = 50_000
+    #: Seconds a shared scanner waits on one stalled consumer before
+    #: detaching it (None: 5 page-service-times, computed at run time).
+    scan_detach_patience: float = None
+    #: Section 4.2's two-level scheduling: map micro-engine name -> number
+    #: of dedicated CPU cores (e.g. {"sort": 1, "hashjoin": 2}).  Unlisted
+    #: engines charge the host's shared CPU pool.  None partitions nothing.
+    cpu_partitions: dict = None
+    #: Section 4.3.1's late activation: a scan packet only attaches to
+    #: the shared scanner once its consumer is ready to receive tuples.
+    #: Disabling it lets eager scans fill their buffers and stall the
+    #: shared scanner ("prevents queries from delaying each other").
+    late_activation: bool = True
+    #: When False, a scan may share an in-progress circular scan only if
+    #: the scanner happens to be at page 0 (naive attach-at-start
+    #: sharing); the ablation benchmarks quantify what wrap-around adds.
+    circular_wraparound: bool = True
+    #: Query result cache size in total cached rows (0 disables it).
+    #: Sequential repeats of an identical query return cached rows;
+    #: concurrent repeats share through OSP instead (section 2.3).
+    result_cache_rows: int = 0
+    name: str = "qpipe"
+
+
+class QPipeEngine:
+    """One QPipe instance over one storage manager."""
+
+    def __init__(self, sm: StorageManager, config: Optional[QPipeConfig] = None):
+        self.sm = sm
+        self.sim = sm.sim
+        self.host = sm.host
+        self.config = config or QPipeConfig()
+        self.osp_enabled = self.config.osp_enabled
+        self.osp_stats = OspStats()
+        from repro.hw.cpu import CPU
+
+        self.cpu_partitions = {
+            name: CPU(self.sim, cores=cores, name=f"cpu-{name}")
+            for name, cores in (self.config.cpu_partitions or {}).items()
+        }
+        self.engines = build_engines(self, self.config.workers)
+        self.dispatcher = PacketDispatcher(self)
+        self.deadlock_detector = DeadlockDetector(
+            self, period=self.config.deadlock_period
+        )
+        self._buffers: List[TupleBuffer] = []
+        self._next_query_id = 0
+        self.active_queries = 0
+        self.queries_completed = 0
+        self.result_cache = ResultCache(self.config.result_cache_rows)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    # ------------------------------------------------------------------
+    # Buffer registry (deadlock detection)
+    # ------------------------------------------------------------------
+    def register_buffer(self, buffer: TupleBuffer) -> None:
+        self._buffers.append(buffer)
+
+    def live_buffers(self) -> List[TupleBuffer]:
+        self._buffers = [b for b in self._buffers if not b.closed]
+        return self._buffers
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def execute(
+        self, plan: PlanNode, query_id: Optional[int] = None
+    ) -> Generator:
+        """Coroutine: run *plan* to completion; returns a QueryResult."""
+        if query_id is None:
+            self._next_query_id += 1
+            query_id = self._next_query_id
+        signature = plan.signature(self.sm.catalog)
+        cached = self.result_cache.lookup(signature)
+        if cached is not None:
+            # Section 2.3 / Figure 2: a result-cache hit "returns the
+            # stored results and avoids execution altogether".
+            self.queries_completed += 1
+            return QueryResult(
+                query_id=query_id,
+                rows=cached,
+                submitted_at=self.sim.now,
+                started_at=self.sim.now,
+                finished_at=self.sim.now,
+            )
+        query = QueryContext(
+            query_id=query_id,
+            plan=plan,
+            sm=self.sm,
+            host_machine=self.host,
+            work_mem_tuples=self.config.work_mem_tuples,
+            submitted_at=self.sim.now,
+        )
+        self.active_queries += 1
+        self.deadlock_detector.ensure_running()
+        try:
+            root = self.dispatcher.dispatch(query)
+            rows: List[tuple] = []
+            while True:
+                batch = yield from root.get()
+                if batch is None:
+                    break
+                if batch is SEGMENT_BOUNDARY:
+                    continue
+                rows.extend(batch)
+        finally:
+            self.active_queries -= 1
+            self.queries_completed += 1
+        if not any(
+            node.op_name == "update" for node in _walk(plan)
+        ):
+            self.result_cache.store(signature, plan, rows)
+        return QueryResult(
+            query_id=query_id,
+            rows=rows,
+            submitted_at=query.submitted_at,
+            started_at=query.submitted_at,
+            finished_at=self.sim.now,
+        )
+
+    def run_query(self, plan: PlanNode) -> List[tuple]:
+        """Convenience: spawn, run the clock, return the rows (tests)."""
+        proc = self.sim.spawn(self.execute(plan), name="qpipe-query")
+        self.sim.run()
+        return proc.value.rows

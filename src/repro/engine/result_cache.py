@@ -1,0 +1,108 @@
+"""A query result cache with run-time duplicate detection.
+
+Section 2.3: "Caching query results can significantly improve response
+times in a workload that contains repeating instances of the same query
+... QPipe improves a query result cache by allowing the run-time
+detection of exact instances of the same query, thus avoiding extra work
+when identical queries execute concurrently, with no previous entries in
+the result cache."
+
+The cache stores completed queries' rows keyed by the plan's canonical
+signature (the same encoding OSP compares).  Concurrent duplicates need
+no cache entry -- they attach to each other through OSP; this cache
+covers the *sequential* repeats that arrive after the original finished.
+
+Entries are invalidated when an update touches any table the plan read,
+and evicted LRU by total cached rows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.relational.plans import (
+    IndexScan,
+    PlanNode,
+    TableScan,
+    walk_plan,
+)
+
+
+def _tables_read(plan: PlanNode) -> Set[str]:
+    return {
+        node.table
+        for node in walk_plan(plan)
+        if isinstance(node, (TableScan, IndexScan))
+    }
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+
+class ResultCache:
+    """LRU result cache keyed by plan signature, bounded by total rows."""
+
+    def __init__(self, capacity_rows: int):
+        if capacity_rows < 0:
+            raise ValueError("capacity_rows must be >= 0")
+        self.capacity_rows = capacity_rows
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self._rows_cached = 0
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_rows > 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, signature: str) -> Optional[List[tuple]]:
+        """Cached rows for *signature*, or None."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.stats.hits += 1
+        return list(entry[0])
+
+    def store(self, signature: str, plan: PlanNode, rows: List[tuple]) -> None:
+        """Cache *rows*; oversized results are simply not cached."""
+        if not self.enabled or len(rows) > self.capacity_rows:
+            return
+        if signature in self._entries:
+            return
+        self._entries[signature] = (list(rows), _tables_read(plan))
+        self._rows_cached += len(rows)
+        while self._rows_cached > self.capacity_rows and len(self._entries) > 1:
+            _sig, (old_rows, _tables) = self._entries.popitem(last=False)
+            self._rows_cached -= len(old_rows)
+            self.stats.evictions += 1
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every entry whose plan read *table*; returns the count."""
+        victims = [
+            sig
+            for sig, (_rows, tables) in self._entries.items()
+            if table in tables
+        ]
+        for sig in victims:
+            rows, _tables = self._entries.pop(sig)
+            self._rows_cached -= len(rows)
+            self.stats.invalidations += 1
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._rows_cached = 0
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,47 @@
+"""The experiment harness: one entry point per figure in the paper.
+
+Every experiment builds fresh, seeded systems per configuration point,
+runs the workload on the simulated host, and returns a structured
+:class:`~repro.harness.report.Series` whose ``render()`` prints the same
+rows the paper plots.  EXPERIMENTS.md records paper-vs-measured shapes.
+"""
+
+from repro.harness.config import Scale, SMOKE, DEFAULT
+from repro.harness.experiments import (
+    fig1a_breakdown,
+    fig1b_throughput,
+    fig4_wop,
+    fig8_scan_sharing,
+    fig9_ordered_scans,
+    fig10_sort_merge,
+    fig11_hash_join,
+    fig12_throughput,
+    fig13_think_time,
+    osp_overhead,
+    ablation_circular_wraparound,
+    ablation_late_activation,
+    ablation_replacement_policies,
+    ablation_replay_ring,
+)
+from repro.harness.report import Series
+
+__all__ = [
+    "DEFAULT",
+    "SMOKE",
+    "Scale",
+    "Series",
+    "ablation_circular_wraparound",
+    "ablation_late_activation",
+    "ablation_replacement_policies",
+    "ablation_replay_ring",
+    "fig10_sort_merge",
+    "fig11_hash_join",
+    "fig12_throughput",
+    "fig13_think_time",
+    "fig1a_breakdown",
+    "fig1b_throughput",
+    "fig4_wop",
+    "fig8_scan_sharing",
+    "fig9_ordered_scans",
+    "osp_overhead",
+]

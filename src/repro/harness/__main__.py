@@ -1,0 +1,121 @@
+"""Command-line figure runner: ``python -m repro.harness <figure> [...]``.
+
+Examples::
+
+    python -m repro.harness list
+    python -m repro.harness fig8
+    python -m repro.harness fig12 --scale default
+    python -m repro.harness all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    DEFAULT,
+    SMOKE,
+    ablation_circular_wraparound,
+    ablation_late_activation,
+    ablation_replacement_policies,
+    ablation_replay_ring,
+    fig1a_breakdown,
+    fig1b_throughput,
+    fig4_wop,
+    fig8_scan_sharing,
+    fig9_ordered_scans,
+    fig10_sort_merge,
+    fig11_hash_join,
+    fig12_throughput,
+    fig13_think_time,
+    osp_overhead,
+)
+
+
+def _render_fig1a(scale):
+    _rows, rendered = fig1a_breakdown(scale)
+    return rendered
+
+
+def _render_fig8(scale):
+    out = fig8_scan_sharing(scale)
+    return "\n\n".join(out[n].render() for n in sorted(out))
+
+
+def _render_overhead(scale):
+    result = osp_overhead(scale)
+    return (
+        "OSP coordinator overhead (no sharing opportunities):\n"
+        f"  makespan OSP on : {result['makespan_osp_on']:.1f} s\n"
+        f"  makespan OSP off: {result['makespan_osp_off']:.1f} s\n"
+        f"  ratio           : {result['overhead_ratio']:.4f}"
+    )
+
+
+FIGURES = {
+    "fig1a": _render_fig1a,
+    "fig1b": lambda scale: fig1b_throughput(scale).render(),
+    "fig4": lambda scale: fig4_wop(scale).render(),
+    "fig8": _render_fig8,
+    "fig9": lambda scale: fig9_ordered_scans(scale).render(),
+    "fig10": lambda scale: fig10_sort_merge(scale).render(),
+    "fig11": lambda scale: fig11_hash_join(scale).render(),
+    "fig12": lambda scale: fig12_throughput(scale).render(),
+    "fig13": lambda scale: fig13_think_time(scale).render(),
+    "overhead": _render_overhead,
+    "ablation-policies": lambda scale: (
+        ablation_replacement_policies(scale).render()
+    ),
+    "ablation-replay": lambda scale: ablation_replay_ring(scale).render(),
+    "ablation-wraparound": lambda scale: (
+        ablation_circular_wraparound(scale).render()
+    ),
+    "ablation-late-activation": lambda scale: (
+        ablation_late_activation(scale).render()
+    ),
+}
+
+SCALES = {"smoke": SMOKE, "default": DEFAULT}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the QPipe paper's figures.",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="smoke",
+        help="experiment scale preset (default: smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        print("available figures:")
+        for name in FIGURES:
+            print(f"  {name}")
+        return 0
+
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure {unknown[0]!r}; try 'list'"
+        )
+    scale = SCALES[args.scale]
+    for name in names:
+        start = time.time()
+        print(FIGURES[name](scale))
+        print(f"[{name} @ {scale.name}: {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,571 @@
+"""One experiment runner per figure in the paper's evaluation.
+
+Every function builds fresh seeded systems per data point so results are
+deterministic and points are independent.  Returned objects are
+:class:`~repro.harness.report.Series` (or dicts of them) whose
+``render()`` prints the figure as text.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.config import (
+    SMOKE,
+    Scale,
+    build_tpch_system,
+    build_wisconsin_system,
+)
+from repro.harness.report import Series, render_breakdown
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import Aggregate, GroupBy, HashJoin, TableScan
+from repro.workloads.clients import ClosedLoopClient, mixed_tpch_factory, run_workload
+from repro.workloads.tpch import queries as Q
+from repro.workloads.wisconsin import three_way_join
+
+#: Paper section 5.3 / Figure 12 query mix.
+MIX = ("q1", "q4", "q6", "q8", "q12", "q13", "q14", "q19")
+
+INTERARRIVALS = (0, 10, 20, 40, 60, 80, 100, 120, 140)
+
+
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
+def _run_staggered(host, engine, plans: Sequence, delays: Sequence[float]):
+    """Submit one query per plan at the given delays; returns results."""
+    procs = []
+
+    def client(plan, delay):
+        yield host.sim.timeout(delay)
+        result = yield from engine.execute(plan)
+        return result
+
+    for plan, delay in zip(plans, delays):
+        procs.append(host.sim.spawn(client(plan, delay), name="client"))
+    host.sim.run_until_done(procs)
+    return [p.value for p in procs]
+
+
+def _makespan(results) -> float:
+    return max(r.finished_at for r in results) - min(
+        r.submitted_at for r in results
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1a: time breakdown of five TPC-H queries by table read
+# ---------------------------------------------------------------------------
+def fig1a_breakdown(scale: Scale = SMOKE):
+    """Fraction of disk-read time per table for Q8, Q12, Q13, Q14, Q19.
+
+    Reproduces Figure 1a's observation: despite disjoint computation,
+    the queries overlap heavily on LINEITEM/ORDERS/PART reads.
+    """
+    queries = {
+        "Q8": Q.q8,
+        "Q12": Q.q12,
+        "Q13": Q.q13,
+        "Q14": Q.q14,
+        "Q19": Q.q19,
+    }
+    tracked = ("lineitem", "orders", "part")
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, builder in queries.items():
+        host, sm, engine = build_tpch_system(scale, "dbmsx")
+        file_to_table = {
+            sm.table_file_id(t): t for t in sm.catalog.tables()
+        }
+        before = host.disk.stats.snapshot()
+        proc = host.sim.spawn(engine.execute(builder(random.Random(1))))
+        host.sim.run()
+        delta = host.disk.stats.delta(before)
+        total = sum(t for _b, t in delta.per_file.values()) or 1.0
+        fractions = {"other": 0.0}
+        for fid, (_blocks, time) in delta.per_file.items():
+            table = file_to_table.get(fid)
+            if table in tracked:
+                fractions[table] = fractions.get(table, 0.0) + time / total
+            else:
+                fractions["other"] += time / total
+        rows[name] = fractions
+    rendered = render_breakdown(
+        "Figure 1a: per-table share of disk read time",
+        rows,
+        list(tracked) + ["other"],
+    )
+    return rows, rendered
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: measured window-of-opportunity curves
+# ---------------------------------------------------------------------------
+def fig4_wop(
+    scale: Scale = SMOKE,
+    progress_points: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.95),
+) -> Series:
+    """Measured Q2 I/O savings vs Q1 progress, one curve per overlap
+    class (linear / step / full / spike), mirroring Figure 4a.
+
+    Cost is measured in *eliminated disk blocks*: a gain of 1 means Q2
+    caused no additional I/O at all.
+    """
+
+    # The two queries of each pair differ in their ROOT aggregate so that
+    # sharing can only happen at the operator under test (a shared root
+    # would trivially yield a full overlap for every class).
+    _aggs = {
+        "a": [AggSpec("count", None, "n")],
+        "b": [AggSpec("sum", Col("l_quantity"), "s")],
+    }
+
+    def scan_plan(flavor, ordered):
+        return Aggregate(
+            TableScan("lineitem", ordered=ordered), _aggs[flavor]
+        )
+
+    def full_plan(flavor):
+        # The single aggregate itself is the measured operator, so the
+        # pair is identical here: full overlap across the whole lifetime.
+        return Aggregate(
+            TableScan("lineitem"), [AggSpec("sum", Col("l_quantity"), "s")]
+        )
+
+    def step_plan(flavor):
+        # Hash join: full during ORDERS build, step once probing starts.
+        return GroupBy(
+            HashJoin(
+                TableScan("orders"),
+                TableScan("lineitem"),
+                "o_orderkey",
+                "l_orderkey",
+            ),
+            ["o_orderpriority"],
+            _aggs[flavor],
+        )
+
+    classes = {
+        "linear(scan)": lambda flavor: scan_plan(flavor, False),
+        "full(aggregate)": full_plan,
+        "step(hash-join)": step_plan,
+        "spike(ordered scan)": lambda flavor: scan_plan(flavor, True),
+    }
+    series = Series(
+        title="Figure 4 (measured): Q2 cost saving vs Q1 progress",
+        x_label="Q1 progress",
+        y_label="fraction of Q2's disk blocks eliminated",
+    )
+    scale = _limited_buffers(scale)
+    for label, make_plan in classes.items():
+        # Solo baselines.
+        host, sm, engine = build_tpch_system(scale, "qpipe")
+        before = host.disk.stats.blocks_read
+        solo = _run_staggered(host, engine, [make_plan("b")], [0.0])[0]
+        solo_blocks = host.disk.stats.blocks_read - before
+        solo_duration = solo.response_time
+        for progress in progress_points:
+            host, sm, engine = build_tpch_system(scale, "qpipe")
+            plans = [make_plan("a"), make_plan("b")]
+            results = _run_staggered(
+                host, engine, plans, [0.0, progress * solo_duration]
+            )
+            pair_blocks = host.disk.stats.blocks_read
+            extra = max(0, pair_blocks - solo_blocks)
+            gain = max(0.0, 1.0 - extra / max(1, solo_blocks))
+            series.add_point(label, round(progress, 2), round(gain, 3))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: disk blocks read vs interarrival time (2/4/8 clients of Q6)
+# ---------------------------------------------------------------------------
+def fig8_scan_sharing(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = (2, 4, 8),
+    interarrivals: Optional[Sequence[float]] = None,
+) -> Dict[int, Series]:
+    """Total disk blocks read by N staggered Q6 clients, Baseline vs
+    QPipe w/OSP."""
+    if interarrivals is None:
+        interarrivals = (0, 10, 20, 40, 60, 80, 100)
+    out: Dict[int, Series] = {}
+    for count in client_counts:
+        series = Series(
+            title=f"Figure 8 ({count} clients): disk blocks read",
+            x_label="interarrival (s)",
+            y_label="total disk blocks read",
+        )
+        for system in ("baseline", "qpipe"):
+            for gap in interarrivals:
+                host, sm, engine = build_tpch_system(scale, system)
+                plans = [
+                    Q.q6(random.Random(100 + i)) for i in range(count)
+                ]
+                delays = [i * gap for i in range(count)]
+                _run_staggered(host, engine, plans, delays)
+                series.add_point(
+                    "QPipe w/OSP" if system == "qpipe" else "Baseline",
+                    gap,
+                    host.disk.stats.blocks_read,
+                )
+        out[count] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-11: two staggered queries, total response time
+# ---------------------------------------------------------------------------
+def _two_query_sweep(
+    title: str,
+    build_system,
+    make_plans,
+    interarrivals: Sequence[float],
+) -> Series:
+    series = Series(
+        title=title,
+        x_label="interarrival (s)",
+        y_label="total response time (s)",
+    )
+    for system in ("baseline", "qpipe"):
+        label = "QPipe w/OSP" if system == "qpipe" else "Baseline"
+        for gap in interarrivals:
+            host, sm, engine = build_system(system)
+            plans = make_plans()
+            results = _run_staggered(host, engine, plans, [0.0, gap])
+            series.add_point(label, gap, round(_makespan(results), 1))
+    return series
+
+
+def _limited_buffers(scale: Scale) -> Scale:
+    """Figures 9-11 run in the paper's limited-buffer regime: a small
+    fan-out replay ring, so step windows actually close and the
+    order-sensitive split / scan-only sharing regimes become visible."""
+    from repro.harness.config import with_overrides
+
+    return with_overrides(
+        scale,
+        replay_tuples=min(scale.replay_tuples, 16),
+        buffer_tuples=min(scale.buffer_tuples, 1024),
+    )
+
+
+def fig9_ordered_scans(
+    scale: Scale = SMOKE,
+    interarrivals: Sequence[float] = INTERARRIVALS,
+) -> Series:
+    """Two TPC-H Q4 instances with merge-joins over clustered index
+    scans: order-sensitive scan sharing via the 4.3.2 two-pass split."""
+    scale = _limited_buffers(scale)
+    return _two_query_sweep(
+        "Figure 9: order-sensitive clustered index scans (Q4, merge-join)",
+        lambda system: build_tpch_system(scale, system),
+        lambda: [
+            Q.q4_merge(random.Random(5), flavor="count"),
+            Q.q4_merge(random.Random(5), flavor="sum"),
+        ],
+        interarrivals,
+    )
+
+
+def fig10_sort_merge(
+    scale: Scale = SMOKE,
+    interarrivals: Sequence[float] = INTERARRIVALS,
+) -> Series:
+    """Two Wisconsin 3-way sort-merge joins sharing the BIG1/BIG2 sort
+    (full overlap) and merge (step overlap) subtrees."""
+    scale = _limited_buffers(scale)
+    big_range = max(100, scale.wisconsin_big_rows // 2)
+    return _two_query_sweep(
+        "Figure 10: Wisconsin 3-way sort-merge join sharing",
+        lambda system: build_wisconsin_system(scale, system),
+        lambda: [
+            three_way_join(big_range, Col("onepercent") < 50),
+            three_way_join(big_range, Col("onepercent") >= 50),
+        ],
+        interarrivals,
+    )
+
+
+def fig11_hash_join(
+    scale: Scale = SMOKE,
+    interarrivals: Sequence[float] = INTERARRIVALS,
+) -> Series:
+    """Two TPC-H Q4 instances with hybrid hash joins: build-phase
+    sharing first, then scan-only sharing once probing starts."""
+    scale = _limited_buffers(scale)
+    return _two_query_sweep(
+        "Figure 11: hash-join build sharing (Q4, hash-join)",
+        lambda system: build_tpch_system(scale, system),
+        lambda: [
+            Q.q4_hash(random.Random(5), flavor="count"),
+            Q.q4_hash(random.Random(5), flavor="sum"),
+        ],
+        interarrivals,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 1b/12: throughput vs number of clients, three systems
+# ---------------------------------------------------------------------------
+def fig12_throughput(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = tuple(range(1, 13)),
+    systems: Sequence[str] = ("qpipe", "baseline", "dbmsx"),
+) -> Series:
+    """TPC-H mix throughput (queries/hour), zero think time.
+
+    Figure 1b is this figure restricted to QPipe and DBMS X.
+    """
+    labels = {
+        "qpipe": "QPipe w/OSP",
+        "baseline": "Baseline",
+        "dbmsx": "DBMS X",
+    }
+    series = Series(
+        title="Figure 12: TPC-H throughput vs concurrent clients",
+        x_label="clients",
+        y_label="throughput (queries/hour)",
+    )
+    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
+    for system in systems:
+        for count in client_counts:
+            host, sm, engine = build_tpch_system(scale, system)
+            factory = mixed_tpch_factory(builders)
+            clients = [
+                ClosedLoopClient(
+                    i,
+                    factory,
+                    queries=scale.queries_per_client,
+                    think_time=0.0,
+                    start_delay=i * scale.client_stagger,
+                )
+                for i in range(count)
+            ]
+            metrics = run_workload(engine, clients, seed=scale.seed + count)
+            series.add_point(
+                labels[system], count, round(metrics.throughput_qph, 1)
+            )
+    return series
+
+
+def fig1b_throughput(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = tuple(range(1, 13)),
+) -> Series:
+    """Figure 1b: the introduction's QPipe-vs-DBMS X throughput curve."""
+    series = fig12_throughput(scale, client_counts, ("qpipe", "dbmsx"))
+    series.title = "Figure 1b: TPC-H throughput, QPipe vs DBMS X"
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: average response time vs think time, 10 clients
+# ---------------------------------------------------------------------------
+def fig13_think_time(
+    scale: Scale = SMOKE,
+    think_times: Sequence[float] = (0, 20, 40, 60, 240),
+    clients: int = 10,
+) -> Series:
+    """Average response time of the TPC-H mix under varying think time
+    (low think time = high load), QPipe w/OSP vs Baseline."""
+    series = Series(
+        title="Figure 13: average response time vs think time (10 clients)",
+        x_label="think time (s)",
+        y_label="average response time (s)",
+    )
+    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
+    # Think time only matters between consecutive queries of one client.
+    queries = max(3, scale.queries_per_client)
+    for system in ("baseline", "qpipe"):
+        label = "QPipe w/OSP" if system == "qpipe" else "Baseline"
+        for think in think_times:
+            host, sm, engine = build_tpch_system(scale, system)
+            factory = mixed_tpch_factory(builders)
+            cl = [
+                ClosedLoopClient(
+                    i,
+                    factory,
+                    queries=queries,
+                    think_time=think,
+                    start_delay=i * scale.client_stagger,
+                )
+                for i in range(clients)
+            ]
+            metrics = run_workload(engine, cl, seed=scale.seed)
+            series.add_point(
+                label, think, round(metrics.avg_response_time, 1)
+            )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Section 5 claim: negligible OSP coordinator overhead
+# ---------------------------------------------------------------------------
+def osp_overhead(scale: Scale = SMOKE, queries: int = 6) -> Dict[str, float]:
+    """Back-to-back (zero-concurrency) mixed queries with OSP on vs off.
+
+    With no sharing opportunities the two runs must take essentially the
+    same time; the paper reports the overhead as negligible.
+    """
+    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
+
+    def run(system: str) -> float:
+        host, sm, engine = build_tpch_system(scale, system)
+        rng = random.Random(scale.seed)
+        client = ClosedLoopClient(
+            0, mixed_tpch_factory(builders), queries=queries
+        )
+        metrics = run_workload(engine, [client], seed=scale.seed)
+        return metrics.makespan
+
+    with_osp = run("qpipe")
+    without = run("baseline")
+    return {
+        "makespan_osp_on": with_osp,
+        "makespan_osp_off": without,
+        "overhead_ratio": with_osp / without if without else 1.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md section 4)
+# ---------------------------------------------------------------------------
+def ablation_replacement_policies(
+    scale: Scale = SMOKE,
+    policies: Sequence[str] = ("lru", "mru", "clock", "lru-k", "2q", "arc"),
+    clients: int = 4,
+    interarrival: float = 20.0,
+) -> Series:
+    """Figure 8's Baseline point under every replacement policy: how much
+    of QPipe's sharing can a smarter pool recover on its own?
+
+    Scan pages go through the policy itself here (no scan ring), so the
+    policies' scan handling is what is actually being compared.
+    """
+    from repro.harness.config import make_engine
+    from repro.storage.manager import StorageManager
+    from repro.workloads.tpch import TpchScale, load_tpch
+    from repro.harness.config import _estimate_lineitem_pages, _host_for_pages
+
+    series = Series(
+        title="Ablation: buffer replacement policy vs blocks read "
+        f"({clients} Q6 clients, {interarrival:.0f}s apart)",
+        x_label="policy",
+        y_label="total disk blocks read",
+    )
+    for policy in policies:
+        host = _host_for_pages(scale, _estimate_lineitem_pages(scale))
+        sm = StorageManager(
+            host, buffer_pages=scale.buffer_pages, policy=policy,
+            use_scan_ring=False,
+        )
+        load_tpch(sm, TpchScale(scale.tpch_factor), seed=scale.seed)
+        engine = make_engine(sm, scale, "baseline")
+        plans = [Q.q6(random.Random(100 + i)) for i in range(clients)]
+        delays = [i * interarrival for i in range(clients)]
+        _run_staggered(host, engine, plans, delays)
+        series.add_point("Baseline", policy, host.disk.stats.blocks_read)
+    # Reference: QPipe w/OSP on LRU.
+    host, sm, engine = build_tpch_system(scale, "qpipe")
+    plans = [Q.q6(random.Random(100 + i)) for i in range(clients)]
+    delays = [i * interarrival for i in range(clients)]
+    _run_staggered(host, engine, plans, delays)
+    series.notes.append(
+        f"QPipe w/OSP (lru) reads {host.disk.stats.blocks_read} blocks"
+    )
+    return series
+
+
+def ablation_circular_wraparound(
+    scale: Scale = SMOKE,
+    clients: int = 4,
+    interarrivals: Sequence[float] = (0, 20, 60, 100),
+) -> Series:
+    """What wrap-around adds over naive attach-at-start scan sharing.
+
+    "When the scanner thread reaches the end-of-file for the first time,
+    it will keep scanning the relation from the beginning, to serve the
+    unread pages" (section 4.3.1).  Without the wrap, a late scan can
+    share only if it happens to arrive while the scanner sits at page 0.
+    """
+    from repro.harness.config import with_overrides
+
+    series = Series(
+        title="Ablation: circular wrap-around vs naive scan sharing",
+        x_label="interarrival (s)",
+        y_label="total disk blocks read",
+    )
+    for label, wrap in (("circular", True), ("attach-at-start", False)):
+        for gap in interarrivals:
+            host, sm, engine = build_tpch_system(scale, "qpipe")
+            engine.config.circular_wraparound = wrap
+            plans = [Q.q6(random.Random(100 + i)) for i in range(clients)]
+            delays = [i * gap for i in range(clients)]
+            _run_staggered(host, engine, plans, delays)
+            series.add_point(label, gap, host.disk.stats.blocks_read)
+    return series
+
+
+def ablation_late_activation(
+    scale: Scale = SMOKE,
+    clients: int = 4,
+) -> Series:
+    """Section 4.3.1's late activation policy, on vs off.
+
+    Without it, probe-side scans attach to the shared scanner before
+    their joins are ready to consume; the filled buffers stall the
+    scanner (until detach-on-stall cuts them loose), costing extra time
+    and I/O for everyone.
+    """
+    from repro.harness.config import make_engine
+
+    series = Series(
+        title="Ablation: late activation of scan packets",
+        x_label="policy",
+        y_label="value",
+    )
+    for label, late in (("on", True), ("off", False)):
+        host, sm, engine = build_tpch_system(scale, "qpipe")
+        engine.config.late_activation = late
+        plans = [
+            Q.q4_hash(random.Random(5), "count" if i % 2 else "sum")
+            for i in range(clients)
+        ]
+        delays = [i * 5.0 for i in range(clients)]
+        results = _run_staggered(host, engine, plans, delays)
+        series.add_point(f"late-activation {label}", "makespan (s)",
+                         round(_makespan(results), 1))
+        series.add_point(f"late-activation {label}", "blocks read",
+                         host.disk.stats.blocks_read)
+        series.add_point(f"late-activation {label}", "scan detaches",
+                         engine.osp_stats.scan_detaches)
+    return series
+
+
+def ablation_replay_ring(
+    scale: Scale = SMOKE,
+    ring_sizes: Sequence[int] = (16, 256, 4096, 65536),
+    interarrival: float = 40.0,
+) -> Series:
+    """The Figure 4b buffering enhancement: a larger fan-out replay ring
+    widens the hash-join step window, so later arrivals still attach."""
+    from repro.harness.config import with_overrides
+
+    series = Series(
+        title="Ablation: fan-out replay ring size vs join sharing",
+        x_label="replay ring (tuples)",
+        y_label="hash-join attaches",
+    )
+    for size in ring_sizes:
+        sized = with_overrides(scale, replay_tuples=max(1, size))
+        host, sm, engine = build_tpch_system(sized, "qpipe")
+        plans = [
+            Q.q4_hash(random.Random(5), flavor="count"),
+            Q.q4_hash(random.Random(5), flavor="sum"),
+        ]
+        _run_staggered(host, engine, plans, [0.0, interarrival])
+        series.add_point(
+            "attaches", size, engine.osp_stats.attaches["hashjoin"]
+        )
+    return series

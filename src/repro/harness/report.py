@@ -1,0 +1,96 @@
+"""ASCII reporting for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class Series:
+    """One figure's data: x values and one y-list per labelled curve."""
+
+    title: str
+    x_label: str
+    y_label: str
+    xs: List = field(default_factory=list)
+    curves: Dict[str, List] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_point(self, curve: str, x, y) -> None:
+        if x not in self.xs:
+            self.xs.append(x)
+        self.curves.setdefault(curve, [])
+        # Align: pad with None for any skipped x positions.
+        idx = self.xs.index(x)
+        values = self.curves[curve]
+        while len(values) < idx:
+            values.append(None)
+        if len(values) == idx:
+            values.append(y)
+        else:
+            values[idx] = y
+
+    def curve(self, name: str) -> List:
+        return self.curves[name]
+
+    def render(self) -> str:
+        """The figure as an aligned text table (one row per x)."""
+        names = list(self.curves)
+        header = [self.x_label] + names
+        rows: List[List[str]] = [header]
+        for i, x in enumerate(self.xs):
+            row = [_fmt(x)]
+            for name in names:
+                values = self.curves[name]
+                row.append(_fmt(values[i]) if i < len(values) else "-")
+            rows.append(row)
+        widths = [
+            max(len(row[c]) for row in rows) for c in range(len(header))
+        ]
+        lines = [self.title, f"  ({self.y_label})"]
+        for r, row in enumerate(rows):
+            line = "  " + "  ".join(
+                cell.rjust(widths[c]) for c, cell in enumerate(row)
+            )
+            lines.append(line)
+            if r == 0:
+                lines.append("  " + "-" * (sum(widths) + 2 * len(widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_breakdown(
+    title: str, rows: Dict[str, Dict[str, float]], columns: Sequence[str]
+) -> str:
+    """A stacked-fraction table (Figure 1a): one row per query."""
+    lines = [title]
+    header = ["query"] + list(columns)
+    table = [header]
+    for query, fractions in rows.items():
+        table.append(
+            [query] + [f"{fractions.get(col, 0.0):.2f}" for col in columns]
+        )
+    widths = [max(len(row[c]) for row in table) for c in range(len(header))]
+    for r, row in enumerate(table):
+        lines.append(
+            "  " + "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row))
+        )
+        if r == 0:
+            lines.append("  " + "-" * (sum(widths) + 2 * len(widths)))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Hardware models: the simulated disk array, CPUs, and the host bundle.
+
+The paper's testbed is a 2.6 GHz Pentium 4 with four 10K RPM SCSI drives in
+software RAID-0 and 2 GB RAM.  We model it as:
+
+* one queued :class:`Disk` resource with sequential-vs-seek service times
+  (RAID-0 striping is folded into the aggregate sequential bandwidth), and
+* a :class:`CPU` resource with a configurable number of cores.
+
+RAM appears indirectly: the buffer pool holds a fixed number of frames and
+each query gets a work-memory budget (sort heap / hash tables), mirroring
+the paper's "each client is given 128MB of memory" setup.
+"""
+
+from repro.hw.cpu import CPU
+from repro.hw.disk import Disk, DiskStats
+from repro.hw.host import Host, HostConfig
+
+__all__ = ["CPU", "Disk", "DiskStats", "Host", "HostConfig"]

@@ -1,0 +1,61 @@
+"""The host bundle: one simulator plus its hardware models and cost knobs."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hw.cpu import CPU
+from repro.hw.disk import Disk
+from repro.sim import Simulator
+
+
+@dataclass
+class HostConfig:
+    """Hardware and cost-model knobs, scaled per DESIGN.md section 5.
+
+    The defaults give a ~2 MB/s effective sequential disk (8 KB blocks at
+    4 ms each), so a ~1,500-block LINEITEM scan takes ~6 simulated seconds
+    per configured `time_scale`; harness presets stretch this so that full
+    scans take on the order of 100 simulated seconds, matching the paper's
+    interarrival sweeps.
+    """
+
+    cores: int = 2
+    disk_transfer_time: float = 0.004
+    disk_seek_time: float = 0.02
+    #: CPU seconds to process one tuple through one operator.
+    cpu_per_tuple: float = 0.00001
+    #: CPU seconds for a buffer-pool hit (in-memory page access).
+    page_hit_cost: float = 0.00002
+    #: comparison cost multiplier used by sort (n log n * this).
+    sort_cpu_factor: float = 1.0
+    seed: int = 20050614  # SIGMOD 2005 opening day
+
+
+@dataclass
+class Host:
+    """One simulated machine: clock, disk, CPU, and a seeded RNG.
+
+    Every experiment builds exactly one Host, then builds a storage
+    manager and an engine on top of it.
+    """
+
+    config: HostConfig = field(default_factory=HostConfig)
+
+    def __post_init__(self):
+        self.sim = Simulator()
+        self.disk = Disk(
+            self.sim,
+            transfer_time=self.config.disk_transfer_time,
+            seek_time=self.config.disk_seek_time,
+        )
+        self.cpu = CPU(self.sim, cores=self.config.cores)
+        self.rng = random.Random(self.config.seed)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, until=None) -> float:
+        return self.sim.run(until=until)

@@ -1,0 +1,29 @@
+"""On-demand simultaneous pipelining (OSP) support.
+
+The pieces every micro-engine shares (Figure 6a):
+
+* :mod:`repro.osp.wop` -- the window-of-opportunity model of section 3.2
+  (overlap classes, enhancement functions, expected-gain curves).
+* :mod:`repro.osp.circular` -- circular scans with per-consumer
+  termination points and late activation (section 4.3.1).
+* :mod:`repro.osp.deadlock` -- the buffer-state waits-for-graph deadlock
+  detector with cost-based materialisation (section 4.3.3).
+* :mod:`repro.osp.stats` -- sharing statistics for the harness.
+
+The attach/terminate/copy/fan-out procedure itself (Figure 6b) lives in
+:class:`repro.engine.micro_engine.MicroEngine`, since every micro-engine
+embeds its own OSP coordinator.
+"""
+
+from repro.osp.circular import CircularScanManager
+from repro.osp.deadlock import DeadlockDetector
+from repro.osp.stats import OspStats
+from repro.osp.wop import OverlapClass, expected_gain
+
+__all__ = [
+    "CircularScanManager",
+    "DeadlockDetector",
+    "OspStats",
+    "OverlapClass",
+    "expected_gain",
+]

@@ -1,0 +1,268 @@
+"""Circular scans: shared table scans with per-consumer termination points.
+
+Section 4.3.1: "we maintain a dedicated scan thread that is responsible
+for scanning a particular relation. ... The scanner thread essentially
+plays the role of the host packet and the newly arrived packet becomes a
+satellite. ... When the scanner thread reaches the end-of-file for the
+first time, it will keep scanning the relation from the beginning, to
+serve the unread pages."
+
+Each consumer attaches at the scanner's current position and detaches
+after receiving exactly ``num_pages`` consecutive pages -- a full pass
+over the relation regardless of where it joined.  Each consumer applies
+its *own* predicate and projection, which is why scans with entirely
+different selection predicates still share all their page reads (the
+Figure 12 workload).
+
+Late activation: a scan packet only attaches once its output buffer has
+been flagged ready by its consumer, so queries cannot delay each other
+by holding the shared scan back before they are ready to read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.engine.packets import Packet
+from repro.sim import ChannelClosed, Event
+from repro.storage.locks import LockMode
+
+
+@dataclass
+class ScanConsumer:
+    """One query's attachment to a circular scan."""
+
+    packet: Packet
+    filter_fn: Optional[Callable]
+    project_fn: Optional[Callable]
+    pages_remaining: int
+    done: Event
+    delivered_pages: int = 0
+
+
+@dataclass
+class CircularScan:
+    """The scanner-thread state for one table."""
+
+    table: str
+    num_pages: int
+    current_page: int = 0
+    consumers: List[ScanConsumer] = field(default_factory=list)
+    running: bool = False
+    total_pages_scanned: int = 0
+
+
+class CircularScanManager:
+    """Owns one circular scan per table, on demand."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.sim = engine.sim
+        self.sm = engine.sm
+        self.scans: Dict[str, CircularScan] = {}
+
+    # ------------------------------------------------------------------
+    def serve(self, packet: Packet) -> Generator:
+        """Coroutine (runs in an FScan worker): attach *packet* as a
+        consumer and wait until its full pass completes.
+
+        Returns False (without attaching) when wrap-around sharing is
+        disabled and the scanner is already mid-file -- the caller then
+        falls back to a standalone scan (the naive-sharing ablation).
+        """
+        plan = packet.plan
+        table = plan.table
+        base = self.sm.catalog.table_schema(table)
+        filter_fn = plan.predicate.bind(base) if plan.predicate else None
+        project_fn = (
+            base.projector(plan.project) if plan.project is not None else None
+        )
+        # Late activation: wait for the consumer to flag readiness.
+        if getattr(self.engine.config, "late_activation", True):
+            yield from packet.primary_output.wait_activated()
+
+        scan = self.scans.get(table)
+        if (
+            scan is not None
+            and scan.running
+            and scan.current_page != 0
+            and not getattr(self.engine.config, "circular_wraparound", True)
+        ):
+            return False
+        consumer = ScanConsumer(
+            packet=packet,
+            filter_fn=filter_fn,
+            project_fn=project_fn,
+            pages_remaining=self.sm.num_pages(table),
+            done=Event(self.sim),
+        )
+        if scan is None or not scan.running:
+            scan = CircularScan(
+                table=table, num_pages=self.sm.num_pages(table)
+            )
+            scan.running = True
+            scan.consumers.append(consumer)
+            self.scans[table] = scan
+            self.sim.spawn(self._scanner(scan), name=f"scanner-{table}")
+        else:
+            # Attach at the scanner's current position; the new
+            # termination point is one full cycle from here.
+            scan.consumers.append(consumer)
+            self.engine.osp_stats.record_attach("fscan-circular", packet)
+        yield consumer.done
+        return True
+
+    # ------------------------------------------------------------------
+    def _scanner(self, scan: CircularScan) -> Generator:
+        """The dedicated scanner thread for one relation."""
+        sm = self.sm
+        # Section 4.3.4: the shared scan holds a shared table lock, so it
+        # (and all its satellites with it) waits out concurrent writers.
+        owner = ("scanner", scan.table, id(scan))
+        yield sm.locks.acquire(owner, scan.table, LockMode.SHARED)
+        try:
+            yield from self._scan_loop(scan)
+        finally:
+            sm.locks.release(owner, scan.table)
+
+    def _scan_loop(self, scan: CircularScan) -> Generator:
+        sm = self.sm
+        while scan.consumers:
+            page = yield from sm.read_table_page(
+                scan.table, scan.current_page, scan=True, stream=id(scan)
+            )
+            rows = page.rows()
+            scan.total_pages_scanned += 1
+            shared_consumers = len(scan.consumers)
+            if shared_consumers > 1:
+                self.engine.osp_stats.shared_page_deliveries += (
+                    shared_consumers - 1
+                )
+            for consumer in list(scan.consumers):
+                if consumer.done.triggered:
+                    continue
+                status = yield from self._deliver(consumer, rows)
+                if status == "gone":
+                    self._finish(scan, consumer)
+                    continue
+                if status == "stalled":
+                    # Section 3.3: do not hold everyone to the slowest
+                    # consumer forever -- cut it loose.
+                    self._detach(scan, consumer)
+                    continue
+                consumer.pages_remaining -= 1
+                consumer.delivered_pages += 1
+                if consumer.pages_remaining <= 0:
+                    self._finish(scan, consumer)
+            scan.current_page = (scan.current_page + 1) % scan.num_pages
+        scan.running = False
+        if self.scans.get(scan.table) is scan:
+            del self.scans[scan.table]
+
+    @property
+    def _patience(self) -> float:
+        """How long the scanner waits on one consumer before detaching it.
+
+        Section 3.3: a consumer that cannot keep up must not hold the
+        shared scan hostage -- "it will need to detach from the rest of
+        the scans".  A few page-service-times of grace absorbs normal
+        jitter without coupling everyone to a stalled pipeline.
+        """
+        configured = getattr(self.engine.config, "scan_detach_patience", None)
+        if configured is not None:
+            return configured
+        disk = self.engine.host.config
+        return 5.0 * (disk.disk_seek_time + disk.disk_transfer_time)
+
+    def _deliver(self, consumer: ScanConsumer, rows) -> Generator:
+        """Coroutine: filter/project *rows* for one consumer and push them.
+
+        Returns "gone" when the consumer went away, "stalled" when it
+        timed out (caller detaches it), "ok" otherwise.
+        """
+        packet = consumer.packet
+        if packet.output.closed:
+            return "gone"
+        yield from self.engine.engines["fscan"].charge(packet, len(rows))
+        out = rows
+        if consumer.filter_fn is not None:
+            out = [row for row in out if consumer.filter_fn(row)]
+        if consumer.project_fn is not None:
+            out = [consumer.project_fn(row) for row in out]
+        if out:
+            try:
+                accepted = yield from packet.primary_output.put_with_patience(
+                    out, self._patience
+                )
+            except ChannelClosed:
+                return "gone"
+            if not accepted:
+                return "stalled"
+        return "ok"
+
+    def _detach(self, scan: CircularScan, consumer: ScanConsumer) -> None:
+        """Cut a stalled consumer loose with a private catch-up scan."""
+        if consumer in scan.consumers:
+            scan.consumers.remove(consumer)
+        self.engine.osp_stats.scan_detaches += 1
+        self.sim.spawn(
+            self._catchup(consumer, scan.table, scan.current_page,
+                          scan.num_pages),
+            name=f"catchup-{scan.table}",
+        )
+
+    def _catchup(
+        self,
+        consumer: ScanConsumer,
+        table: str,
+        start_page: int,
+        num_pages: int,
+    ) -> Generator:
+        """A detached consumer's private scan over its remaining pages.
+
+        Proceeds at the consumer's own pace (blocking puts) from the
+        position where it fell off the shared scanner, wrapping at EOF.
+        """
+        sm = self.sm
+        packet = consumer.packet
+        page_no = start_page
+        try:
+            while consumer.pages_remaining > 0:
+                page = yield from sm.read_table_page(
+                    table, page_no, scan=True, stream=id(consumer)
+                )
+                status = yield from self._deliver_blocking(consumer, page.rows())
+                if not status:
+                    break
+                consumer.pages_remaining -= 1
+                consumer.delivered_pages += 1
+                page_no = (page_no + 1) % num_pages
+        except ChannelClosed:
+            pass
+        self._finish(None, consumer)
+
+    def _deliver_blocking(self, consumer: ScanConsumer, rows) -> Generator:
+        packet = consumer.packet
+        if packet.output.closed:
+            return False
+        yield from self.engine.engines["fscan"].charge(packet, len(rows))
+        out = rows
+        if consumer.filter_fn is not None:
+            out = [row for row in out if consumer.filter_fn(row)]
+        if consumer.project_fn is not None:
+            out = [consumer.project_fn(row) for row in out]
+        if out:
+            try:
+                yield from packet.primary_output.put(out)
+            except ChannelClosed:
+                return False
+        return True
+
+    def _finish(self, scan, consumer: ScanConsumer) -> None:
+        if scan is not None and consumer in scan.consumers:
+            scan.consumers.remove(consumer)
+        if not consumer.packet.output.closed:
+            consumer.packet.output.close()
+        if not consumer.done.triggered:
+            consumer.done.succeed()

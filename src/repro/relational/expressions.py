@@ -1,0 +1,432 @@
+"""Scalar expressions, predicates, and aggregate specifications.
+
+Expressions *bind* against a schema to produce plain Python callables
+(row -> value), so per-tuple evaluation costs one closure call.  Every
+expression also has a canonical :meth:`~Expr.signature`, which the OSP
+coordinator compares to detect overlapping computations (two packets
+overlap only when their argument lists encode identically -- paper
+section 4.3: "a quick check of the encoded argument list").
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Set, Tuple
+
+from repro.relational.schema import Schema
+
+RowFn = Callable[[tuple], Any]
+
+_CMP_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def bind(self, schema: Schema) -> RowFn:
+        """Compile to a row -> value callable against *schema*."""
+        raise NotImplementedError
+
+    def columns(self) -> Set[str]:
+        """The column names this expression references."""
+        raise NotImplementedError
+
+    def signature(self) -> str:
+        """Canonical encoding for overlap detection."""
+        raise NotImplementedError
+
+    # Operator sugar so plans read naturally: Col("a") > 5, (p1 & p2), etc.
+    def __eq__(self, other):  # type: ignore[override]
+        return Cmp("==", self, _lift(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Cmp("!=", self, _lift(other))
+
+    def __lt__(self, other):
+        return Cmp("<", self, _lift(other))
+
+    def __le__(self, other):
+        return Cmp("<=", self, _lift(other))
+
+    def __gt__(self, other):
+        return Cmp(">", self, _lift(other))
+
+    def __ge__(self, other):
+        return Cmp(">=", self, _lift(other))
+
+    def __add__(self, other):
+        return Arith("+", self, _lift(other))
+
+    def __sub__(self, other):
+        return Arith("-", self, _lift(other))
+
+    def __mul__(self, other):
+        return Arith("*", self, _lift(other))
+
+    def __truediv__(self, other):
+        return Arith("/", self, _lift(other))
+
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return Not(self)
+
+    def __hash__(self):
+        return hash(self.signature())
+
+
+def _lift(value: Any) -> "Expr":
+    return value if isinstance(value, Expr) else Const(value)
+
+
+class Col(Expr):
+    """A column reference by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def bind(self, schema):
+        idx = schema.index_of(self.name)
+        return lambda row: row[idx]
+
+    def columns(self):
+        return {self.name}
+
+    def signature(self):
+        return f"col({self.name})"
+
+    def __repr__(self):
+        return f"Col({self.name!r})"
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def bind(self, schema):
+        value = self.value
+        return lambda row: value
+
+    def columns(self):
+        return set()
+
+    def signature(self):
+        return f"const({self.value!r})"
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+
+class Cmp(Expr):
+    """A binary comparison."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema):
+        fn = _CMP_OPS[self.op]
+        left, right = self.left.bind(schema), self.right.bind(schema)
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def signature(self):
+        return f"({self.left.signature()}{self.op}{self.right.signature()})"
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Arith(Expr):
+    """Binary arithmetic."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema):
+        fn = _ARITH_OPS[self.op]
+        left, right = self.left.bind(schema), self.right.bind(schema)
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def signature(self):
+        return f"({self.left.signature()}{self.op}{self.right.signature()})"
+
+
+class And(Expr):
+    def __init__(self, *terms: Expr):
+        if not terms:
+            raise ValueError("And needs at least one term")
+        self.terms = terms
+
+    def bind(self, schema):
+        fns = [t.bind(schema) for t in self.terms]
+        return lambda row: all(fn(row) for fn in fns)
+
+    def columns(self):
+        out: Set[str] = set()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def signature(self):
+        return "and(" + "&".join(t.signature() for t in self.terms) + ")"
+
+
+class Or(Expr):
+    def __init__(self, *terms: Expr):
+        if not terms:
+            raise ValueError("Or needs at least one term")
+        self.terms = terms
+
+    def bind(self, schema):
+        fns = [t.bind(schema) for t in self.terms]
+        return lambda row: any(fn(row) for fn in fns)
+
+    def columns(self):
+        out: Set[str] = set()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def signature(self):
+        return "or(" + "|".join(t.signature() for t in self.terms) + ")"
+
+
+class Not(Expr):
+    def __init__(self, term: Expr):
+        self.term = term
+
+    def bind(self, schema):
+        fn = self.term.bind(schema)
+        return lambda row: not fn(row)
+
+    def columns(self):
+        return self.term.columns()
+
+    def signature(self):
+        return f"not({self.term.signature()})"
+
+
+class Between(Expr):
+    """lo <= expr <= hi (inclusive both ends, like SQL BETWEEN)."""
+
+    def __init__(self, expr: Expr, lo: Any, hi: Any):
+        self.expr = _lift(expr)
+        self.lo = lo
+        self.hi = hi
+
+    def bind(self, schema):
+        fn = self.expr.bind(schema)
+        lo, hi = self.lo, self.hi
+        return lambda row: lo <= fn(row) <= hi
+
+    def columns(self):
+        return self.expr.columns()
+
+    def signature(self):
+        return f"between({self.expr.signature()},{self.lo!r},{self.hi!r})"
+
+
+class InList(Expr):
+    """expr IN (v1, v2, ...)."""
+
+    def __init__(self, expr: Expr, values: Sequence[Any]):
+        self.expr = _lift(expr)
+        self.values = frozenset(values)
+
+    def bind(self, schema):
+        fn = self.expr.bind(schema)
+        values = self.values
+        return lambda row: fn(row) in values
+
+    def columns(self):
+        return self.expr.columns()
+
+    def signature(self):
+        encoded = ",".join(repr(v) for v in sorted(self.values, key=repr))
+        return f"in({self.expr.signature()},[{encoded}])"
+
+
+class Like(Expr):
+    """A small LIKE: '%x%' contains, 'x%' prefix, '%x' suffix, else equal."""
+
+    def __init__(self, expr: Expr, pattern: str):
+        self.expr = _lift(expr)
+        self.pattern = pattern
+
+    def bind(self, schema):
+        fn = self.expr.bind(schema)
+        pattern = self.pattern
+        if pattern.startswith("%") and pattern.endswith("%") and len(pattern) > 1:
+            needle = pattern[1:-1]
+            return lambda row: needle in fn(row)
+        if pattern.endswith("%"):
+            prefix = pattern[:-1]
+            return lambda row: fn(row).startswith(prefix)
+        if pattern.startswith("%"):
+            suffix = pattern[1:]
+            return lambda row: fn(row).endswith(suffix)
+        return lambda row: fn(row) == pattern
+
+    def columns(self):
+        return self.expr.columns()
+
+    def signature(self):
+        return f"like({self.expr.signature()},{self.pattern!r})"
+
+
+class If(Expr):
+    """SQL CASE WHEN cond THEN a ELSE b END (two-armed)."""
+
+    def __init__(self, cond: Expr, then: Any, otherwise: Any):
+        self.cond = cond
+        self.then = _lift(then)
+        self.otherwise = _lift(otherwise)
+
+    def bind(self, schema):
+        cond = self.cond.bind(schema)
+        then, other = self.then.bind(schema), self.otherwise.bind(schema)
+        return lambda row: then(row) if cond(row) else other(row)
+
+    def columns(self):
+        return (
+            self.cond.columns() | self.then.columns() | self.otherwise.columns()
+        )
+
+    def signature(self):
+        return (
+            f"if({self.cond.signature()},{self.then.signature()},"
+            f"{self.otherwise.signature()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+AGG_FUNCS = ("sum", "min", "max", "count", "avg")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: ``func`` over ``expr``, output column ``name``.
+
+    ``count`` may take ``expr=None`` for COUNT(*).
+    """
+
+    func: str
+    expr: Any = None  # Expr or None
+    name: str = ""
+
+    def __post_init__(self):
+        if self.func not in AGG_FUNCS:
+            raise ValueError(
+                f"unknown aggregate {self.func!r}; expected one of {AGG_FUNCS}"
+            )
+        if self.expr is None and self.func != "count":
+            raise ValueError(f"{self.func} requires an expression")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.func}")
+
+    def signature(self) -> str:
+        inner = self.expr.signature() if self.expr is not None else "*"
+        return f"{self.func}({inner})"
+
+    def make_state(self) -> "AggState":
+        return AggState(self)
+
+
+class AggState:
+    """Mutable accumulator for one aggregate over one group."""
+
+    __slots__ = ("spec", "count", "total", "best")
+
+    def __init__(self, spec: AggSpec):
+        self.spec = spec
+        self.count = 0
+        self.total = 0
+        self.best = None
+
+    def add(self, value: Any) -> None:
+        func = self.spec.func
+        self.count += 1
+        if func in ("sum", "avg"):
+            self.total += value
+        elif func == "min":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif func == "max":
+            if self.best is None or value > self.best:
+                self.best = value
+        # count needs nothing beyond the counter.
+
+    def merge(self, other: "AggState") -> None:
+        func = self.spec.func
+        self.count += other.count
+        if func in ("sum", "avg"):
+            self.total += other.total
+        elif func == "min":
+            if other.best is not None and (
+                self.best is None or other.best < self.best
+            ):
+                self.best = other.best
+        elif func == "max":
+            if other.best is not None and (
+                self.best is None or other.best > self.best
+            ):
+                self.best = other.best
+
+    def result(self) -> Any:
+        func = self.spec.func
+        if func == "count":
+            return self.count
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return self.total / self.count if self.count else None
+        return self.best
+
+
+def bind_aggregates(
+    specs: Sequence[AggSpec], schema: Schema
+) -> Tuple[list, list]:
+    """Bind aggregate input expressions; returns (specs, value_fns)."""
+    fns = []
+    for spec in specs:
+        if spec.expr is None:
+            fns.append(lambda row: 1)
+        else:
+            fns.append(spec.expr.bind(schema))
+    return list(specs), fns

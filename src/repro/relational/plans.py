@@ -1,0 +1,508 @@
+"""Logical query plans.
+
+A plan is a tree of operator nodes, one per relational operation, exactly
+mirroring the paper's Figure 5: scans and index scans at the leaves,
+joins / sorts / aggregates above them.  Both engines interpret the same
+trees; QPipe's packet dispatcher creates one packet per node.
+
+Every node computes:
+
+* its output :class:`~repro.relational.schema.Schema` given a catalog, and
+* a canonical :meth:`~PlanNode.signature` -- the "encoded argument list"
+  the OSP coordinator compares when a new packet queues up (section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from repro.relational.expressions import AggSpec, Expr
+from repro.relational.schema import Schema
+
+
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def __init__(self, children: Sequence["PlanNode"]):
+        self.children: List[PlanNode] = list(children)
+
+    # -- overridden per node -------------------------------------------
+    def output_schema(self, catalog) -> Schema:
+        raise NotImplementedError
+
+    def _own_signature(self, catalog) -> str:
+        raise NotImplementedError
+
+    #: Operator label used to route packets to micro-engines.
+    op_name = "plan"
+
+    # -- shared ----------------------------------------------------------
+    def signature(self, catalog) -> str:
+        """Canonical encoding of the whole subtree rooted here."""
+        inner = ",".join(c.signature(catalog) for c in self.children)
+        own = self._own_signature(catalog)
+        return f"{own}[{inner}]" if inner else own
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        kids = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({kids})"
+
+
+def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
+    """Pre-order traversal of a plan tree."""
+    yield node
+    for child in node.children:
+        yield from walk_plan(child)
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+class TableScan(PlanNode):
+    """A full scan of a base table.
+
+    Args:
+        table: table name.
+        predicate: optional selection applied during the scan.
+        project: optional list of output column names.
+        ordered: when True the consumer requires rows in stored table
+            order, which turns the scan's overlap class from *linear*
+            into *spike* (paper section 3.2).
+        alias: optional prefix qualifying output column names (needed when
+            a query reads a table twice, or joins Wisconsin tables whose
+            column names collide).
+    """
+
+    op_name = "scan"
+
+    def __init__(
+        self,
+        table: str,
+        predicate: Optional[Expr] = None,
+        project: Optional[Sequence[str]] = None,
+        ordered: bool = False,
+        alias: Optional[str] = None,
+    ):
+        super().__init__([])
+        self.table = table
+        self.predicate = predicate
+        self.project = list(project) if project is not None else None
+        self.ordered = ordered
+        self.alias = alias
+
+    def output_schema(self, catalog) -> Schema:
+        schema = catalog.table_schema(self.table)
+        if self.project is not None:
+            schema = schema.project(self.project)
+        if self.alias:
+            schema = schema.qualified(self.alias)
+        return schema
+
+    def _own_signature(self, catalog) -> str:
+        pred = self.predicate.signature() if self.predicate else "true"
+        proj = ",".join(self.project) if self.project else "*"
+        order = "ordered" if self.ordered else "any"
+        return f"scan({self.table};{pred};{proj};{order})"
+
+
+class IndexScan(PlanNode):
+    """An index scan over a clustered or unclustered B+tree.
+
+    For a clustered index the scan emits rows in key order directly from
+    the (key-ordered) heap file.  For an unclustered index it runs the
+    paper's two phases: build the matching RID list (full overlap), sort
+    it by page number, then fetch pages (linear/spike overlap).
+    """
+
+    op_name = "iscan"
+
+    def __init__(
+        self,
+        table: str,
+        index: str,
+        lo: Any = None,
+        hi: Any = None,
+        predicate: Optional[Expr] = None,
+        project: Optional[Sequence[str]] = None,
+        ordered: bool = False,
+        alias: Optional[str] = None,
+    ):
+        super().__init__([])
+        self.table = table
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.predicate = predicate
+        self.project = list(project) if project is not None else None
+        self.ordered = ordered
+        self.alias = alias
+
+    def output_schema(self, catalog) -> Schema:
+        schema = catalog.table_schema(self.table)
+        if self.project is not None:
+            schema = schema.project(self.project)
+        if self.alias:
+            schema = schema.qualified(self.alias)
+        return schema
+
+    def _own_signature(self, catalog) -> str:
+        pred = self.predicate.signature() if self.predicate else "true"
+        proj = ",".join(self.project) if self.project else "*"
+        order = "ordered" if self.ordered else "any"
+        return (
+            f"iscan({self.table};{self.index};{self.lo!r}..{self.hi!r};"
+            f"{pred};{proj};{order})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+class Filter(PlanNode):
+    """Row selection on an arbitrary predicate (residual filters above
+    joins, e.g. TPC-H Q19's bracketed OR conditions)."""
+
+    op_name = "filter"
+
+    def __init__(self, child: PlanNode, predicate: Expr):
+        super().__init__([child])
+        self.predicate = predicate
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _own_signature(self, catalog) -> str:
+        return f"filter({self.predicate.signature()})"
+
+
+class Project(PlanNode):
+    """Column projection (and optional computed expressions)."""
+
+    op_name = "project"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        names: Sequence[str],
+        exprs: Optional[Sequence[Expr]] = None,
+    ):
+        super().__init__([child])
+        self.names = list(names)
+        self.exprs = list(exprs) if exprs is not None else None
+        if self.exprs is not None and len(self.exprs) != len(self.names):
+            raise ValueError("names and exprs must align")
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        child = self.child.output_schema(catalog)
+        if self.exprs is None:
+            return child.project(self.names)
+        from repro.relational.schema import Column
+
+        return Schema(Column(name, "float") for name in self.names)
+
+    def _own_signature(self, catalog) -> str:
+        if self.exprs is None:
+            return f"project({','.join(self.names)})"
+        encoded = ",".join(e.signature() for e in self.exprs)
+        return f"project({','.join(self.names)};{encoded})"
+
+
+class Sort(PlanNode):
+    """Sort on one or more key columns."""
+
+    op_name = "sort"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[str],
+        descending: bool = False,
+    ):
+        super().__init__([child])
+        self.keys = list(keys)
+        self.descending = descending
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _own_signature(self, catalog) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"sort({','.join(self.keys)};{direction})"
+
+
+class Aggregate(PlanNode):
+    """Single-group aggregation producing exactly one output row."""
+
+    op_name = "agg"
+
+    def __init__(self, child: PlanNode, aggs: Sequence[AggSpec]):
+        super().__init__([child])
+        if not aggs:
+            raise ValueError("Aggregate needs at least one AggSpec")
+        self.aggs = list(aggs)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        from repro.relational.schema import Column
+
+        return Schema(Column(a.name, "float") for a in self.aggs)
+
+    def _own_signature(self, catalog) -> str:
+        return "agg(" + ";".join(a.signature() for a in self.aggs) + ")"
+
+
+class GroupBy(PlanNode):
+    """Hash-based grouping with aggregates per group."""
+
+    op_name = "groupby"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_cols: Sequence[str],
+        aggs: Sequence[AggSpec],
+    ):
+        super().__init__([child])
+        if not group_cols:
+            raise ValueError("GroupBy needs at least one grouping column")
+        self.group_cols = list(group_cols)
+        self.aggs = list(aggs)
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        from repro.relational.schema import Column
+
+        child = self.child.output_schema(catalog)
+        group = [child.column(c) for c in self.group_cols]
+        return Schema(
+            group + [Column(a.name, "float") for a in self.aggs]
+        )
+
+    def _own_signature(self, catalog) -> str:
+        aggs = ";".join(a.signature() for a in self.aggs)
+        return f"groupby({','.join(self.group_cols)};{aggs})"
+
+
+class Limit(PlanNode):
+    """Emit at most *count* rows (after skipping *offset*)."""
+
+    op_name = "limit"
+
+    def __init__(self, child: PlanNode, count: int, offset: int = 0):
+        super().__init__([child])
+        if count < 0 or offset < 0:
+            raise ValueError("count and offset must be non-negative")
+        self.count = count
+        self.offset = offset
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _own_signature(self, catalog) -> str:
+        return f"limit({self.count};{self.offset})"
+
+
+class Distinct(PlanNode):
+    """Remove duplicate rows (first occurrence wins, streaming)."""
+
+    op_name = "distinct"
+
+    def __init__(self, child: PlanNode):
+        super().__init__([child])
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _own_signature(self, catalog) -> str:
+        return "distinct()"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+class _EquiJoin(PlanNode):
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: str,
+        right_key: str,
+    ):
+        super().__init__([left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+
+    @property
+    def left(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        return self.children[1]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.left.output_schema(catalog).concat(
+            self.right.output_schema(catalog)
+        )
+
+    def _own_signature(self, catalog) -> str:
+        return f"{self.op_name}({self.left_key}={self.right_key})"
+
+
+class HashJoin(_EquiJoin):
+    """Hybrid hash join: build on the left input, probe with the right.
+
+    Overlap classes (section 3.2): the build phase is *full*, the probe
+    phase is *step* (extensible via output buffering).
+    """
+
+    op_name = "hashjoin"
+
+
+class MergeJoin(_EquiJoin):
+    """Merge join over inputs already ordered on the join keys (*step*)."""
+
+    op_name = "mergejoin"
+
+
+class SemiJoin(_EquiJoin):
+    """Left rows with at least one right match (SQL EXISTS).
+
+    Output schema is the left input's alone; the right side is consumed
+    only to build its key set (a *full*-overlap phase).  TPC-H Q4's
+    EXISTS subquery is exactly this shape.
+    """
+
+    op_name = "semijoin"
+
+    def output_schema(self, catalog) -> Schema:
+        return self.left.output_schema(catalog)
+
+
+class AntiJoin(_EquiJoin):
+    """Left rows with no right match (SQL NOT EXISTS)."""
+
+    op_name = "antijoin"
+
+    def output_schema(self, catalog) -> Schema:
+        return self.left.output_schema(catalog)
+
+
+class LeftOuterJoin(_EquiJoin):
+    """Hash left-outer join: unmatched left rows pad the right side with
+    NULLs (None).  TPC-H Q13's customer LEFT JOIN orders is this shape."""
+
+    op_name = "outerjoin"
+
+
+class NLJoin(PlanNode):
+    """Nested-loop join with an arbitrary predicate (*step* overlap)."""
+
+    op_name = "nljoin"
+
+    def __init__(self, left: PlanNode, right: PlanNode, predicate: Expr):
+        super().__init__([left, right])
+        self.predicate = predicate
+
+    @property
+    def left(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        return self.children[1]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.left.output_schema(catalog).concat(
+            self.right.output_schema(catalog)
+        )
+
+    def _own_signature(self, catalog) -> str:
+        return f"nljoin({self.predicate.signature()})"
+
+
+# ---------------------------------------------------------------------------
+# Updates (routed to the no-OSP update micro-engine; section 4.3.4)
+# ---------------------------------------------------------------------------
+class InsertRows(PlanNode):
+    """Insert literal rows into a table."""
+
+    op_name = "update"
+
+    def __init__(self, table: str, rows: Sequence[tuple]):
+        super().__init__([])
+        self.table = table
+        self.rows = list(rows)
+
+    def output_schema(self, catalog) -> Schema:
+        return Schema.of("rows_affected:int")
+
+    def _own_signature(self, catalog) -> str:
+        # Updates are never shared: make the signature unique per object.
+        return f"insert({self.table};id={id(self)})"
+
+
+class DeleteRows(PlanNode):
+    """Delete rows matching a predicate (None deletes everything)."""
+
+    op_name = "update"
+
+    def __init__(self, table: str, predicate: Optional[Expr] = None):
+        super().__init__([])
+        self.table = table
+        self.predicate = predicate
+
+    def output_schema(self, catalog) -> Schema:
+        return Schema.of("rows_affected:int")
+
+    def _own_signature(self, catalog) -> str:
+        return f"delete({self.table};id={id(self)})"
+
+
+class UpdateRows(PlanNode):
+    """Update rows matching a predicate via a row -> row function."""
+
+    op_name = "update"
+
+    def __init__(
+        self,
+        table: str,
+        predicate: Optional[Expr],
+        apply: Callable[[tuple], tuple],
+    ):
+        super().__init__([])
+        self.table = table
+        self.predicate = predicate
+        self.apply = apply
+
+    def output_schema(self, catalog) -> Schema:
+        return Schema.of("rows_affected:int")
+
+    def _own_signature(self, catalog) -> str:
+        return f"update({self.table};id={id(self)})"

@@ -1,0 +1,21 @@
+"""Engine-agnostic execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class QueryResult:
+    """Rows plus timing for one executed query."""
+
+    query_id: int
+    rows: List[tuple]
+    submitted_at: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def response_time(self) -> float:
+        return self.finished_at - self.submitted_at

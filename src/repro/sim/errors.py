@@ -1,0 +1,32 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupted(SimulationError):
+    """Raised inside a process when another process interrupts it.
+
+    The OSP coordinator uses interrupts to terminate the children of a
+    satellite packet once the packet attaches to a host (paper section 4.3,
+    step 2 of Figure 6b).
+
+    Attributes:
+        cause: arbitrary object supplied by the interrupter, usually a
+            short string explaining why the process was killed.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StarvationError(SimulationError):
+    """Raised by :meth:`Simulator.run` when processes remain blocked forever.
+
+    If the event heap drains while processes are still suspended on events
+    that can no longer fire, the simulation has deadlocked at the kernel
+    level (distinct from the *pipeline* deadlocks of paper section 4.3.3,
+    which the OSP deadlock detector resolves before they reach this point).
+    """

@@ -1,0 +1,437 @@
+"""The discrete-event simulation kernel: events, processes, and the clock.
+
+The kernel follows the classic event-heap design.  A :class:`Simulator`
+owns a priority queue of ``(time, priority, seq, callback)`` entries.
+Processes are plain Python generators that ``yield`` awaitables
+(:class:`Event` subclasses); the kernel resumes them with the event's value
+via ``generator.send`` (or ``generator.throw`` on failure/interrupt).
+
+Sub-coroutines compose with ``yield from``; the kernel never needs to know
+about them because the outer generator transparently forwards their yields.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.errors import Interrupted, SimulationError, StarvationError
+
+#: Events scheduled with URGENT run before NORMAL ones at the same timestamp.
+#: Used for interrupts so a killed process never executes another step.
+URGENT = 0
+NORMAL = 1
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once; all registered callbacks then run at the
+    current simulation time.  Processes wait on an event simply by yielding
+    it from their generator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "abandoned")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok = True
+        #: Set when the last waiter deregistered (it was interrupted):
+        #: nothing will ever resume from this event, so wait queues must
+        #: not grant it a resource or deliver it an item.
+        self.abandoned = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (value available)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value read before the event fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters have it thrown in."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback(event)* when the event fires.
+
+        If the event has already been processed the callback is scheduled
+        to run immediately (at the current simulation time) rather than
+        being silently dropped.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            self.sim.schedule(0.0, lambda: callback(self))
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+            if not self.callbacks:
+                self.abandoned = True
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay", "_payload", "_entry")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._payload = value if value is not None else delay
+        # Bypass succeed(): schedule the callback flush directly at now+delay.
+        self._entry = sim.schedule(delay, self._flush)
+
+    def _flush(self) -> None:
+        self._value = self._payload
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+    def remove_callback(self, callback) -> None:
+        super().remove_callback(callback)
+        if not self.callbacks:
+            # Nobody is waiting any more (the waiter was interrupted):
+            # drop the heap entry so the clock does not drain to the
+            # orphaned deadline.
+            self.sim.cancel(self._entry)
+
+
+class AnyOf(Event):
+    """Fires when the first of several events fires.
+
+    The value is a dict mapping each *fired* event to its value (only the
+    ones that have fired by the time the condition is processed).
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.triggered:
+                self._on_fire(event)
+                break
+            event.add_callback(self._on_fire)
+
+    def _on_fire(self, _event: Event) -> None:
+        if self.triggered:
+            return
+        if not _event.ok:
+            self.fail(_event.value)
+            return
+        self.succeed(
+            {ev: ev.value for ev in self._events if ev.triggered and ev.ok}
+        )
+
+
+class AllOf(Event):
+    """Fires when every one of several events has fired.
+
+    The value is a dict mapping each event to its value.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.triggered:
+                self._on_fire(event)
+            else:
+                event.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev.value for ev in self._events})
+
+
+class Process(Event):
+    """A running coroutine; itself an event that fires on termination.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event fires, the kernel resumes the generator with the event's value
+    (or throws the exception when the event failed).  When the generator
+    returns, the process event succeeds with the return value; when it
+    raises, the process event fails with the exception (and the simulation
+    aborts if nobody is waiting on it, so bugs do not pass silently).
+    """
+
+    __slots__ = ("name", "generator", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        name: str = "process",
+    ):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self.name = name
+        self.generator = generator
+        self._target: Optional[Event] = None
+        self._interrupts: list = []
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :exc:`Interrupted` into the process as soon as possible.
+
+        A process may be interrupted while suspended on any event; the
+        event's callback is deregistered so the process does not later
+        resume twice.  Interrupting a terminated process is a no-op, which
+        lets the OSP coordinator kill operator subtrees without racing
+        against their natural completion.
+        """
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupted(cause))
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+            self.sim.schedule(0.0, self._deliver_interrupt, priority=URGENT)
+
+    def _deliver_interrupt(self) -> None:
+        if self.triggered or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        self._step(lambda: self.generator.throw(exc))
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if self.triggered:
+            return
+        self._target = None
+        if self._interrupts:
+            exc = self._interrupts.pop(0)
+            self._step(lambda: self.generator.throw(exc))
+        elif event is None:
+            self._step(lambda: self.generator.send(None))
+        elif event.ok:
+            self._step(lambda: self.generator.send(event.value))
+        else:
+            failure = event.value
+            self._step(lambda: self.generator.throw(failure))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted:
+            # An uncaught interrupt is a normal way for a process to die:
+            # the process event succeeds with None rather than failing.
+            self._ok = True
+            self._value = None
+            self.sim._schedule_event(self)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            self.sim._register_crash(self, exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(TypeError(f"{self.name} yielded non-event {target!r}"))
+            self.sim._register_crash(self, self.value)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("event belongs to a different simulator"))
+            self.sim._register_crash(self, self.value)
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The virtual clock and event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.spawn(worker(), name="worker")
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._crashes: list = []
+        self.process_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable,
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> list:
+        """Run ``callback(*args)`` after *delay* virtual seconds.
+
+        Returns an opaque entry token that :meth:`cancel` accepts.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        entry = [self._now + delay, priority, self._seq, callback, args, True]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    @staticmethod
+    def cancel(entry: list) -> None:
+        """Cancel a scheduled callback (lazy deletion; no clock effect)."""
+        entry[5] = False
+
+    def _schedule_event(self, event: Event) -> None:
+        """Queue an already-triggered event's callback flush."""
+        self.schedule(0.0, self._flush_event, event)
+
+    @staticmethod
+    def _flush_event(event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+    def _register_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashes.append((process, exc))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator, name: str = "process") -> Process:
+        """Start a new process running *generator*."""
+        self.process_count += 1
+        return Process(self, generator, name=f"{name}#{self.process_count}")
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the event loop.
+
+        Runs until the heap drains, or until virtual time reaches *until*
+        (events at exactly ``until`` still execute).  If any process died
+        with an unhandled exception the first such exception is re-raised
+        so failures never pass silently.
+
+        Returns the final virtual time.
+        """
+        while self._heap:
+            time, _priority, _seq, callback, args, live = self._heap[0]
+            if not live:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            callback(*args)
+            if self._crashes:
+                process, exc = self._crashes[0]
+                raise SimulationError(
+                    f"process {process.name} crashed at t={self._now:.3f}"
+                ) from exc
+        return self._now
+
+    def run_until_done(self, watched: Iterable[Process]) -> float:
+        """Run until every process in *watched* has terminated.
+
+        Raises :exc:`StarvationError` when the event heap drains while a
+        watched process is still alive (a kernel-level deadlock).
+        """
+        watched = list(watched)
+        final = self.run()
+        stuck = [p for p in watched if p.alive]
+        if stuck:
+            names = ", ".join(p.name for p in stuck)
+            raise StarvationError(
+                f"simulation drained at t={final:.3f} with live processes: {names}"
+            )
+        return final

@@ -1,0 +1,389 @@
+"""Synchronisation primitives in virtual time.
+
+These are the building blocks for QPipe's producer/consumer plumbing:
+
+* :class:`Channel` -- a bounded FIFO; the paper's "intermediate buffers"
+  that regulate dataflow between micro-engines are built on it.
+* :class:`Resource` -- a counted resource with a FIFO wait queue; the disk
+  and the CPU cores are Resources.
+* :class:`Gate` -- a broadcast open/close latch; used for the late-activation
+  policy of scan packets (section 4.3.1).
+* :class:`Semaphore`, :class:`Lock`, :class:`Condition` -- classic shapes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+
+
+def _abandoned(event: Event) -> bool:
+    """True when nobody will ever resume from *event*.
+
+    A process interrupted while suspended deregisters its callback but
+    its wait-queue entry survives; granting such an entry would leak the
+    resource (or deliver an item) to a dead process.
+    """
+    return event.triggered or event.abandoned
+
+
+class ChannelClosed(SimulationError):
+    """Raised by a drained ``get`` (or any ``put``) on a closed channel."""
+
+
+class Channel:
+    """A bounded FIFO queue of items, each with a size in abstract units.
+
+    ``put`` returns an event that fires once the item has been accepted
+    (possibly after blocking while the channel is full); ``get`` returns an
+    event that fires with the next item.  Closing the channel lets pending
+    and future ``get`` calls drain the remaining items, after which they
+    fail with :exc:`ChannelClosed`.
+
+    The channel exposes its instantaneous state (``empty`` / ``full`` and
+    the identities of blocked producers and consumers) because the OSP
+    deadlock detector (paper section 4.3.3) builds its waits-for graph
+    from exactly this information.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "chan"):
+        if capacity <= 0:
+            raise ValueError(f"channel capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()  # (item, size)
+        self._used = 0.0
+        self._putters: deque = deque()  # (event, item, size, owner)
+        self._getters: deque = deque()  # (event, owner)
+        self._closed = False
+        # Cumulative statistics for the harness.
+        self.total_put = 0
+        self.total_got = 0
+
+    # -- state inspection (used by the deadlock detector) ---------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return self._used >= self.capacity
+
+    @property
+    def level(self) -> float:
+        return self._used
+
+    def blocked_producers(self) -> list:
+        return [owner for (_e, _i, _s, owner) in self._putters]
+
+    def blocked_consumers(self) -> list:
+        return [owner for (_e, owner) in self._getters]
+
+    # -- operations ------------------------------------------------------
+    def put(self, item: Any, size: float = 1.0, owner: Any = None) -> Event:
+        """Enqueue *item*; the returned event fires once accepted."""
+        event = Event(self.sim)
+        if self._closed:
+            event.fail(ChannelClosed(f"put on closed channel {self.name}"))
+            return event
+        if size > self.capacity:
+            event.fail(
+                ValueError(
+                    f"item size {size} exceeds capacity {self.capacity} "
+                    f"of channel {self.name}"
+                )
+            )
+            return event
+        self._putters.append((event, item, size, owner))
+        self._balance()
+        return event
+
+    def get(self, owner: Any = None) -> Event:
+        """Dequeue the next item; the returned event fires with it."""
+        event = Event(self.sim)
+        self._getters.append((event, owner))
+        self._balance()
+        return event
+
+    def cancel_put(self, event: Event) -> bool:
+        """Withdraw a still-pending put (impatient producers).
+
+        Returns True when the put was withdrawn; False when it had
+        already been accepted (too late to cancel).
+        """
+        if event.triggered:
+            return False
+        for entry in self._putters:
+            if entry[0] is event:
+                self._putters.remove(entry)
+                return True
+        return False
+
+    def try_put(self, item: Any, size: float = 1.0) -> bool:
+        """Non-blocking put; returns False instead of waiting."""
+        if self._closed or self._used + size > self.capacity or self._putters:
+            return False
+        self._items.append((item, size))
+        self._used += size
+        self.total_put += 1
+        self._balance()
+        return True
+
+    def close(self) -> None:
+        """Close the channel; drains remaining items to future getters."""
+        if self._closed:
+            return
+        self._closed = True
+        # Producers still blocked lose: they can never deliver.
+        while self._putters:
+            event, _item, _size, _owner = self._putters.popleft()
+            event.fail(ChannelClosed(f"channel {self.name} closed under put"))
+        self._balance()
+
+    def force_capacity(self, capacity: float) -> None:
+        """Grow the capacity in place (deadlock-resolution materialisation).
+
+        The deadlock detector resolves a pipeline deadlock by effectively
+        materialising one buffer: here that means removing its back-pressure
+        by granting it (near-)unbounded capacity.
+        """
+        if capacity < self.capacity:
+            raise ValueError("capacity can only be grown, never shrunk")
+        self.capacity = capacity
+        self._balance()
+
+    # -- internal ---------------------------------------------------------
+    def _balance(self) -> None:
+        """Match blocked producers/consumers against the buffer state."""
+        progress = True
+        while progress:
+            progress = False
+            # Move waiting puts into the buffer while space remains.
+            while self._putters:
+                event, item, size, _owner = self._putters[0]
+                if _abandoned(event):
+                    # Producer died while blocked: its item is withdrawn.
+                    self._putters.popleft()
+                    progress = True
+                    continue
+                if self._used + size > self.capacity:
+                    break
+                self._putters.popleft()
+                self._items.append((item, size))
+                self._used += size
+                self.total_put += 1
+                event.succeed()
+                progress = True
+            # Serve waiting gets from the buffer.
+            while self._getters and self._items:
+                event, _owner = self._getters.popleft()
+                if _abandoned(event):
+                    continue
+                item, size = self._items.popleft()
+                self._used -= size
+                self.total_got += 1
+                event.succeed(item)
+                progress = True
+        if self._closed and not self._items:
+            while self._getters:
+                event, _owner = self._getters.popleft()
+                event.fail(ChannelClosed(f"channel {self.name} drained"))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<Channel {self.name} {state} {self._used}/{self.capacity} "
+            f"items={len(self._items)}>"
+        )
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue (e.g. disk, CPU cores).
+
+    Usage inside a process::
+
+        grant = yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque = deque()
+        self.total_acquisitions = 0
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        """Acquire one unit; the returned event fires with a grant token."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            self.total_acquisitions += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, _grant: Any = None) -> None:
+        """Release one unit, waking the longest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name}")
+        self._account()
+        self._in_use -= 1
+        while self._waiters:
+            event = self._waiters.popleft()
+            if _abandoned(event):  # waiter was interrupted and gave up
+                continue
+            self._in_use += 1
+            self.total_acquisitions += 1
+            event.succeed(self)
+            break
+
+    def utilization(self) -> float:
+        """Time-averaged utilisation in [0, capacity]."""
+        self._account()
+        if self.sim.now == 0:
+            return 0.0
+        return self.busy_time / self.sim.now
+
+
+class Gate:
+    """A broadcast latch: processes wait until the gate is opened.
+
+    Opening is sticky; a wait on an already-open gate completes
+    immediately.  The scan micro-engine's *late activation* policy parks
+    scan packets on a gate that opens when their output buffer is ready.
+    """
+
+    def __init__(self, sim: Simulator, opened: bool = False):
+        self.sim = sim
+        self._open = opened
+        self._waiters: list = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self) -> None:
+        if self._open:
+            return
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, sim: Simulator, value: int = 1):
+        if value < 0:
+            raise ValueError(f"semaphore value must be >= 0: {value}")
+        self.sim = sim
+        self._value = value
+        self._waiters: deque = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        while self._waiters:
+            event = self._waiters.popleft()
+            if _abandoned(event):
+                continue
+            event.succeed()
+            return
+        self._value += 1
+
+
+class Lock(Semaphore):
+    """A mutex (binary semaphore)."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, value=1)
+
+
+class Condition:
+    """A broadcast condition variable (no associated lock; DES is serial).
+
+    Because the simulation kernel executes one callback at a time there is
+    no data race to guard; the condition is purely a wait/notify channel.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: list = []
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self, value: Any = None) -> int:
+        """Wake every current waiter; returns the number woken."""
+        waiters, self._waiters = self._waiters, []
+        woken = 0
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(value)
+                woken += 1
+        return woken
+
+    def notify(self, value: Any = None) -> bool:
+        """Wake the longest-waiting process, if any."""
+        while self._waiters:
+            event = self._waiters.pop(0)
+            if event.triggered:
+                continue
+            event.succeed(value)
+            return True
+        return False

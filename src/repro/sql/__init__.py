@@ -1,0 +1,36 @@
+"""A SQL front end for the query engines.
+
+The paper's prototype consumes "precompiled query plans ... derived from
+a commercial system's optimizer"; downstream users of this library get a
+small SQL-92 subset instead of writing plan trees by hand:
+
+    SELECT [DISTINCT] exprs | aggregates [AS name], ...
+    FROM table [alias] [, table | [LEFT] JOIN table ON a = b]...
+    [WHERE predicate]           -- AND/OR/NOT, comparisons, BETWEEN,
+                                --   IN (...), LIKE, IS [NOT] NULL,
+                                --   [NOT] EXISTS (SELECT ...)
+    [GROUP BY cols] [HAVING predicate]
+    [ORDER BY cols [ASC|DESC]]
+    [LIMIT n [OFFSET m]]
+
+    INSERT INTO table VALUES (...), ...
+    UPDATE table SET col = expr, ... [WHERE predicate]
+    DELETE FROM table [WHERE predicate]
+
+`plan(sql, catalog)` compiles a statement to the same logical plan trees
+the engines execute (`repro.relational.plans`), with single-table
+predicate pushdown into the scans and equality conditions turned into
+hash joins -- so SQL-submitted queries share work through OSP exactly
+like hand-built plans do.
+"""
+
+from repro.sql.lexer import SqlError, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import plan
+
+__all__ = ["SqlError", "parse", "plan", "run", "tokenize"]
+
+
+def run(engine, sql: str):
+    """Parse, plan, and run *sql* on either engine; returns the rows."""
+    return engine.run_query(plan(sql, engine.sm.catalog))

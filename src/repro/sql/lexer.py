@@ -1,0 +1,90 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "BETWEEN", "IN", "LIKE", "JOIN", "LEFT", "INNER", "OUTER", "ON",
+    "NULL", "IS", "COUNT", "SUM", "AVG", "MIN", "MAX", "DATE",
+    "EXISTS", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*",
+           "+", "-", "/", ".")
+
+
+class SqlError(ValueError):
+    """Lexing, parsing, or planning failure, with position context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    value: str
+    pos: int
+
+    def __repr__(self):
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split *sql* into tokens; raises SqlError on garbage."""
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql[i:i + 2] == "--":
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise SqlError(f"unterminated string at position {i}")
+            tokens.append(Token("STRING", sql[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # Only a decimal point when followed by a digit
+                    # (otherwise it is the qualification dot).
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word.lower(), i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token("SYMBOL", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,482 @@
+"""Recursive-descent parser producing a small SQL AST."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sql.lexer import SqlError, Token, tokenize
+
+AGG_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+@dataclass
+class ColumnRef:
+    name: str
+    qualifier: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass
+class Literal:
+    value: object
+
+
+@dataclass
+class BinaryOp:
+    op: str  # + - * / = <> < <= > >= AND OR
+    left: object
+    right: object
+
+
+@dataclass
+class UnaryOp:
+    op: str  # NOT, -
+    operand: object
+
+
+@dataclass
+class BetweenOp:
+    expr: object
+    lo: object
+    hi: object
+    negated: bool = False
+
+
+@dataclass
+class InOp:
+    expr: object
+    values: List[object]
+    negated: bool = False
+
+
+@dataclass
+class LikeOp:
+    expr: object
+    pattern: str
+    negated: bool = False
+
+
+@dataclass
+class IsNullOp:
+    expr: object
+    negated: bool = False
+
+
+@dataclass
+class ExistsOp:
+    """EXISTS (SELECT ...) -- compiled to a semi/anti join."""
+
+    subquery: "SelectStmt"
+
+
+@dataclass
+class FuncCall:
+    func: str  # COUNT/SUM/AVG/MIN/MAX
+    arg: object  # expression, or None for COUNT(*)
+
+
+@dataclass
+class SelectItem:
+    expr: object  # expression / FuncCall / "*" sentinel
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    table: str
+    alias: str
+    join_type: str = "inner"  # inner | left | cross
+    condition: Optional[object] = None  # ON expression
+
+
+@dataclass
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt:
+    items: List[SelectItem]
+    tables: List[TableRef]
+    where: Optional[object] = None
+    group_by: List[ColumnRef] = field(default_factory=list)
+    having: Optional[object] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
+
+
+STAR = "*"
+
+
+@dataclass
+class InsertStmt:
+    table: str
+    rows: List[Tuple]
+
+
+@dataclass
+class UpdateStmt:
+    table: str
+    assignments: List[Tuple[str, object]]  # (column, expression)
+    where: Optional[object] = None
+
+
+@dataclass
+class DeleteStmt:
+    table: str
+    where: Optional[object] = None
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            want = value or kind
+            got = self.current
+            raise SqlError(
+                f"expected {want} at position {got.pos}, got {got.value!r}"
+            )
+        return self.advance()
+
+    def keyword(self, word: str) -> bool:
+        return self.accept("KEYWORD", word) is not None
+
+    # -- DML grammar --------------------------------------------------------
+    def parse_insert(self) -> "InsertStmt":
+        self.expect("KEYWORD", "INSERT")
+        self.expect("KEYWORD", "INTO")
+        table = self.expect("IDENT").value
+        self.expect("KEYWORD", "VALUES")
+        rows: List[Tuple] = []
+        while True:
+            self.expect("SYMBOL", "(")
+            values = [self._literal_value()]
+            while self.accept("SYMBOL", ","):
+                values.append(self._literal_value())
+            self.expect("SYMBOL", ")")
+            rows.append(tuple(values))
+            if not self.accept("SYMBOL", ","):
+                break
+        self.expect("EOF")
+        return InsertStmt(table, rows)
+
+    def _literal_value(self):
+        node = self._additive()
+        if isinstance(node, Literal):
+            return node.value
+        if (
+            isinstance(node, UnaryOp)
+            and node.op == "-"
+            and isinstance(node.operand, Literal)
+        ):
+            return -node.operand.value
+        raise SqlError("VALUES entries must be literals")
+
+    def parse_update(self) -> "UpdateStmt":
+        self.expect("KEYWORD", "UPDATE")
+        table = self.expect("IDENT").value
+        self.expect("KEYWORD", "SET")
+        assignments: List[Tuple[str, object]] = []
+        while True:
+            column = self.expect("IDENT").value
+            self.expect("SYMBOL", "=")
+            assignments.append((column, self._additive()))
+            if not self.accept("SYMBOL", ","):
+                break
+        where = self._expression() if self.keyword("WHERE") else None
+        self.expect("EOF")
+        return UpdateStmt(table, assignments, where)
+
+    def parse_delete(self) -> "DeleteStmt":
+        self.expect("KEYWORD", "DELETE")
+        self.expect("KEYWORD", "FROM")
+        table = self.expect("IDENT").value
+        where = self._expression() if self.keyword("WHERE") else None
+        self.expect("EOF")
+        return DeleteStmt(table, where)
+
+    # -- grammar ------------------------------------------------------------
+    def parse_select(self, nested: bool = False) -> SelectStmt:
+        self.expect("KEYWORD", "SELECT")
+        distinct = self.keyword("DISTINCT")
+        items = self._select_items()
+        self.expect("KEYWORD", "FROM")
+        tables = self._table_refs()
+        where = self._expression() if self.keyword("WHERE") else None
+        group_by: List[ColumnRef] = []
+        if self.keyword("GROUP"):
+            self.expect("KEYWORD", "BY")
+            group_by = self._column_list()
+        having = self._expression() if self.keyword("HAVING") else None
+        order_by: List[OrderItem] = []
+        if self.keyword("ORDER"):
+            self.expect("KEYWORD", "BY")
+            order_by = self._order_items()
+        limit, offset = None, 0
+        if self.keyword("LIMIT"):
+            limit = int(self.expect("NUMBER").value)
+            if self.keyword("OFFSET"):
+                offset = int(self.expect("NUMBER").value)
+        if not nested:
+            self.expect("EOF")
+        return SelectStmt(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> List[SelectItem]:
+        items = []
+        while True:
+            if self.accept("SYMBOL", "*"):
+                items.append(SelectItem(STAR))
+            else:
+                expr = self._expression()
+                alias = None
+                if self.keyword("AS"):
+                    alias = self.expect("IDENT").value
+                elif self.check("IDENT"):
+                    alias = self.advance().value
+                items.append(SelectItem(expr, alias))
+            if not self.accept("SYMBOL", ","):
+                return items
+
+    def _table_refs(self) -> List[TableRef]:
+        refs = [self._table_ref("inner", None)]
+        while True:
+            if self.accept("SYMBOL", ","):
+                refs.append(self._table_ref("cross", None))
+                continue
+            join_type = None
+            if self.keyword("LEFT"):
+                self.keyword("OUTER")
+                self.expect("KEYWORD", "JOIN")
+                join_type = "left"
+            elif self.keyword("INNER"):
+                self.expect("KEYWORD", "JOIN")
+                join_type = "inner"
+            elif self.keyword("JOIN"):
+                join_type = "inner"
+            if join_type is None:
+                return refs
+            ref = self._table_ref(join_type, None)
+            self.expect("KEYWORD", "ON")
+            ref.condition = self._expression()
+            refs.append(ref)
+
+    def _table_ref(self, join_type: str, condition) -> TableRef:
+        table = self.expect("IDENT").value
+        alias = table
+        if self.keyword("AS"):
+            alias = self.expect("IDENT").value
+        elif self.check("IDENT"):
+            alias = self.advance().value
+        return TableRef(table, alias, join_type, condition)
+
+    def _column_list(self) -> List[ColumnRef]:
+        cols = [self._column_ref()]
+        while self.accept("SYMBOL", ","):
+            cols.append(self._column_ref())
+        return cols
+
+    def _column_ref(self) -> ColumnRef:
+        first = self.expect("IDENT").value
+        if self.accept("SYMBOL", "."):
+            return ColumnRef(self.expect("IDENT").value, qualifier=first)
+        return ColumnRef(first)
+
+    def _order_items(self) -> List[OrderItem]:
+        items = []
+        while True:
+            name = self.expect("IDENT").value
+            descending = False
+            if self.keyword("DESC"):
+                descending = True
+            else:
+                self.keyword("ASC")
+            items.append(OrderItem(name, descending))
+            if not self.accept("SYMBOL", ","):
+                return items
+
+    # -- expressions (precedence climbing) ----------------------------------
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.keyword("OR"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.keyword("AND"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self):
+        if self.keyword("EXISTS"):
+            self.expect("SYMBOL", "(")
+            subquery = self.parse_select(nested=True)
+            self.expect("SYMBOL", ")")
+            return ExistsOp(subquery)
+        left = self._additive()
+        negated = self.keyword("NOT")
+        if self.keyword("BETWEEN"):
+            lo = self._additive()
+            self.expect("KEYWORD", "AND")
+            hi = self._additive()
+            return BetweenOp(left, lo, hi, negated)
+        if self.keyword("IN"):
+            self.expect("SYMBOL", "(")
+            values = [self._additive()]
+            while self.accept("SYMBOL", ","):
+                values.append(self._additive())
+            self.expect("SYMBOL", ")")
+            return InOp(left, values, negated)
+        if self.keyword("LIKE"):
+            pattern = self.expect("STRING").value
+            return LikeOp(left, pattern, negated)
+        if self.keyword("IS"):
+            negated = self.keyword("NOT")
+            self.expect("KEYWORD", "NULL")
+            return IsNullOp(left, negated)
+        if negated:
+            raise SqlError(
+                f"dangling NOT at position {self.current.pos}"
+            )
+        for op in ("<=", ">=", "<>", "!=", "=", "<", ">"):
+            if self.accept("SYMBOL", op):
+                canonical = {"<>": "!=", "=": "="}.get(op, op)
+                return BinaryOp(canonical, left, self._additive())
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            if self.accept("SYMBOL", "+"):
+                left = BinaryOp("+", left, self._multiplicative())
+            elif self.accept("SYMBOL", "-"):
+                left = BinaryOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            if self.accept("SYMBOL", "*"):
+                left = BinaryOp("*", left, self._unary())
+            elif self.accept("SYMBOL", "/"):
+                left = BinaryOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        if self.accept("SYMBOL", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return Literal(None)
+        if token.kind == "KEYWORD" and token.value == "DATE":
+            # DATE 'YYYY-MM-DD' literal -> integer days since epoch.
+            self.advance()
+            text = self.expect("STRING").value
+            try:
+                import datetime
+
+                year, month, day = (int(p) for p in text.split("-"))
+                days = (
+                    datetime.date(year, month, day) - datetime.date(1970, 1, 1)
+                ).days
+            except Exception as exc:
+                raise SqlError(f"bad DATE literal {text!r}") from exc
+            return Literal(days)
+        if token.kind == "KEYWORD" and token.value in AGG_FUNCS:
+            func = self.advance().value
+            self.expect("SYMBOL", "(")
+            if self.accept("SYMBOL", "*"):
+                if func != "COUNT":
+                    raise SqlError(f"{func}(*) is not valid")
+                arg = None
+            else:
+                arg = self._expression()
+            self.expect("SYMBOL", ")")
+            return FuncCall(func, arg)
+        if token.kind == "IDENT":
+            return self._column_ref()
+        if self.accept("SYMBOL", "("):
+            inner = self._expression()
+            self.expect("SYMBOL", ")")
+            return inner
+        raise SqlError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+        )
+
+
+def parse(sql: str):
+    """Parse one statement: SELECT, INSERT, UPDATE, or DELETE."""
+    parser = _Parser(tokenize(sql))
+    token = parser.current
+    if token.kind == "KEYWORD" and token.value == "INSERT":
+        return parser.parse_insert()
+    if token.kind == "KEYWORD" and token.value == "UPDATE":
+        return parser.parse_update()
+    if token.kind == "KEYWORD" and token.value == "DELETE":
+        return parser.parse_delete()
+    return parser.parse_select()

@@ -1,0 +1,652 @@
+"""The SQL planner: AST -> logical plan trees.
+
+A deliberately simple, predictable planner:
+
+* single-table WHERE conjuncts are pushed into the table scans (so
+  SQL-submitted scans carry their own predicates, like the qgen plans);
+* JOIN ... ON equality conditions become hash joins (LEFT JOIN becomes
+  the outer-join operator); comma-joins find their equality conjunct in
+  the WHERE clause, falling back to a nested-loop join;
+* GROUP BY / aggregates map to GroupBy or Aggregate, HAVING to a Filter
+  above them, DISTINCT / ORDER BY / LIMIT to their operators;
+* join order is exactly the FROM order (left-deep) -- what you write is
+  what runs, like the paper's precompiled plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.expressions import (
+    AggSpec,
+    And,
+    Arith,
+    Between,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    InList,
+    Like,
+    Not,
+    Or,
+)
+from repro.relational.plans import (
+    Aggregate,
+    AntiJoin,
+    DeleteRows,
+    Distinct,
+    Filter,
+    GroupBy,
+    HashJoin,
+    InsertRows,
+    LeftOuterJoin,
+    Limit,
+    NLJoin,
+    PlanNode,
+    Project,
+    SemiJoin,
+    Sort,
+    TableScan,
+    UpdateRows,
+)
+from repro.sql.lexer import SqlError
+from repro.sql.parser import (
+    STAR,
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    DeleteStmt,
+    ExistsOp,
+    FuncCall,
+    InOp,
+    InsertStmt,
+    IsNullOp,
+    LikeOp,
+    Literal,
+    SelectStmt,
+    UnaryOp,
+    UpdateStmt,
+    parse,
+)
+
+_CMP_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_ARITH_OPS = {"+", "-", "*", "/"}
+
+
+class _Scope:
+    """Column-name resolution over the FROM tables."""
+
+    def __init__(self, catalog, tables):
+        self.catalog = catalog
+        self.tables = tables  # list of TableRef
+        self.aliases = [t.alias for t in tables]
+        if len(set(self.aliases)) != len(self.aliases):
+            raise SqlError("duplicate table aliases in FROM")
+        self.qualify = len(tables) > 1
+        #: bare column name -> list of aliases defining it
+        self.bare: Dict[str, List[str]] = {}
+        #: alias -> set of its column names
+        self.columns: Dict[str, Set[str]] = {}
+        for ref in tables:
+            schema = catalog.table_schema(ref.table)
+            self.columns[ref.alias] = set(schema.names)
+            for name in schema.names:
+                self.bare.setdefault(name, []).append(ref.alias)
+
+    def resolve(self, col: ColumnRef) -> Tuple[str, str]:
+        """-> (alias, output column name in the join tree's schema)."""
+        if col.qualifier is not None:
+            alias = col.qualifier
+            if alias not in self.columns:
+                raise SqlError(f"unknown table alias {alias!r}")
+            if col.name not in self.columns[alias]:
+                raise SqlError(f"no column {col.name!r} in {alias!r}")
+        else:
+            owners = self.bare.get(col.name)
+            if not owners:
+                raise SqlError(f"unknown column {col.name!r}")
+            if len(owners) > 1:
+                raise SqlError(
+                    f"ambiguous column {col.name!r} (in {owners}); qualify it"
+                )
+            alias = owners[0]
+        name = f"{alias}.{col.name}" if self.qualify else col.name
+        return alias, name
+
+
+class _Translator:
+    """AST expression -> bound Expr + the set of aliases it references."""
+
+    def __init__(self, scope: _Scope, bare_for_alias: Optional[str] = None):
+        self.scope = scope
+        #: When set, columns resolve to BARE names and must belong to this
+        #: alias (scan-level pushdown binds against the base schema).
+        self.bare_for_alias = bare_for_alias
+        self.aliases: Set[str] = set()
+
+    def column(self, col: ColumnRef) -> Expr:
+        alias, name = self.scope.resolve(col)
+        self.aliases.add(alias)
+        if self.bare_for_alias is not None:
+            if alias != self.bare_for_alias:
+                raise SqlError(
+                    f"column {col.display()} does not belong to "
+                    f"{self.bare_for_alias!r}"
+                )
+            return Col(col.name)
+        return Col(name)
+
+    def expr(self, node) -> Expr:
+        if isinstance(node, Literal):
+            return Const(node.value)
+        if isinstance(node, ColumnRef):
+            return self.column(node)
+        if isinstance(node, BinaryOp):
+            if node.op == "AND":
+                return And(self.expr(node.left), self.expr(node.right))
+            if node.op == "OR":
+                return Or(self.expr(node.left), self.expr(node.right))
+            left, right = self.expr(node.left), self.expr(node.right)
+            if node.op in _CMP_OPS:
+                op = "==" if node.op == "=" else node.op
+                return Cmp(op, left, right)
+            if node.op in _ARITH_OPS:
+                return Arith(node.op, left, right)
+            raise SqlError(f"unsupported operator {node.op!r}")
+        if isinstance(node, UnaryOp):
+            if node.op == "NOT":
+                return Not(self.expr(node.operand))
+            if node.op == "-":
+                return Arith("-", Const(0), self.expr(node.operand))
+            raise SqlError(f"unsupported unary {node.op!r}")
+        if isinstance(node, BetweenOp):
+            inner = self.expr(node.expr)
+            lo, hi = self.expr(node.lo), self.expr(node.hi)
+            if not isinstance(lo, Const) or not isinstance(hi, Const):
+                raise SqlError("BETWEEN bounds must be literals")
+            made = Between(inner, lo.value, hi.value)
+            return Not(made) if node.negated else made
+        if isinstance(node, InOp):
+            inner = self.expr(node.expr)
+            values = []
+            for value in node.values:
+                bound = self.expr(value)
+                if not isinstance(bound, Const):
+                    raise SqlError("IN list entries must be literals")
+                values.append(bound.value)
+            made = InList(inner, values)
+            return Not(made) if node.negated else made
+        if isinstance(node, LikeOp):
+            made = Like(self.expr(node.expr), node.pattern)
+            return Not(made) if node.negated else made
+        if isinstance(node, IsNullOp):
+            made = Cmp("==", self.expr(node.expr), Const(None))
+            return Not(made) if node.negated else made
+        if isinstance(node, FuncCall):
+            raise SqlError(
+                "aggregate functions are only allowed in SELECT and HAVING"
+            )
+        raise SqlError(f"cannot translate {type(node).__name__}")
+
+
+def _conjuncts(node) -> List:
+    if isinstance(node, BinaryOp) and node.op == "AND":
+        return _conjuncts(node.left) + _conjuncts(node.right)
+    return [node]
+
+
+def _referenced_aliases(node, scope: _Scope) -> Set[str]:
+    translator = _Translator(scope)
+    translator.expr(node)
+    return translator.aliases
+
+
+def _equi_pair(node, scope: _Scope):
+    """col_a = col_b across two different aliases, else None."""
+    if not (isinstance(node, BinaryOp) and node.op == "="):
+        return None
+    if not (
+        isinstance(node.left, ColumnRef) and isinstance(node.right, ColumnRef)
+    ):
+        return None
+    left_alias, left_name = scope.resolve(node.left)
+    right_alias, right_name = scope.resolve(node.right)
+    if left_alias == right_alias:
+        return None
+    return (left_alias, left_name), (right_alias, right_name)
+
+
+class _Planner:
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def plan(self, stmt: SelectStmt) -> PlanNode:
+        scope = _Scope(self.catalog, stmt.tables)
+        where = _conjuncts(stmt.where) if stmt.where is not None else []
+
+        # EXISTS / NOT EXISTS conjuncts compile to semi/anti joins over
+        # the join tree; peel them off before alias partitioning.
+        semis: List[Tuple[bool, ExistsOp]] = []
+        plain: List = []
+        for conjunct in where:
+            if isinstance(conjunct, ExistsOp):
+                semis.append((False, conjunct))
+            elif (
+                isinstance(conjunct, UnaryOp)
+                and conjunct.op == "NOT"
+                and isinstance(conjunct.operand, ExistsOp)
+            ):
+                semis.append((True, conjunct.operand))
+            else:
+                plain.append(conjunct)
+
+        # Partition WHERE conjuncts by the aliases they touch.
+        pushdown: Dict[str, List] = {alias: [] for alias in scope.aliases}
+        joinable: List = []
+        residual: List = []
+        for conjunct in plain:
+            aliases = _referenced_aliases(conjunct, scope)
+            if len(aliases) == 1:
+                pushdown[next(iter(aliases))].append(conjunct)
+            elif _equi_pair(conjunct, scope) is not None:
+                joinable.append(conjunct)
+            else:
+                residual.append(conjunct)
+
+        node = self._join_tree(stmt, scope, pushdown, joinable, residual)
+        for negated, exists in semis:
+            node = self._semi_join(node, scope, exists, negated)
+        node = self._aggregate_or_project(stmt, scope, node)
+        if stmt.distinct:
+            node = Distinct(node)
+        if stmt.order_by:
+            node = self._sort(stmt, node)
+        if stmt.limit is not None:
+            node = Limit(node, stmt.limit, stmt.offset)
+        return node
+
+    # ------------------------------------------------------------------
+    def _scan(self, ref, scope: _Scope, pushdown) -> PlanNode:
+        predicate = None
+        if pushdown[ref.alias]:
+            translator = _Translator(scope, bare_for_alias=ref.alias)
+            bound = [translator.expr(c) for c in pushdown[ref.alias]]
+            predicate = bound[0] if len(bound) == 1 else And(*bound)
+        alias = ref.alias if scope.qualify else None
+        return TableScan(ref.table, predicate=predicate, alias=alias)
+
+    def _join_tree(self, stmt, scope, pushdown, joinable, residual) -> PlanNode:
+        refs = stmt.tables
+        node = self._scan(refs[0], scope, pushdown)
+        joined = {refs[0].alias}
+        for ref in refs[1:]:
+            right = self._scan(ref, scope, pushdown)
+            condition = None
+            extra_on: List = []
+            if ref.condition is not None:
+                for conjunct in _conjuncts(ref.condition):
+                    pair = _equi_pair(conjunct, scope)
+                    if pair is not None and condition is None:
+                        condition = pair
+                    else:
+                        extra_on.append(conjunct)
+            else:
+                # Comma join: claim a WHERE equality linking this table
+                # to something already joined.
+                for conjunct in list(joinable):
+                    pair = _equi_pair(conjunct, scope)
+                    (la, _ln), (ra, _rn) = pair
+                    if {la, ra} & joined and ref.alias in (la, ra):
+                        condition = pair
+                        joinable.remove(conjunct)
+                        break
+            if condition is not None:
+                (la, ln), (ra, rn) = condition
+                if ra == ref.alias:
+                    left_key, right_key = ln, rn
+                elif la == ref.alias:
+                    left_key, right_key = rn, ln
+                else:
+                    raise SqlError(
+                        f"ON condition of {ref.alias!r} references other tables"
+                    )
+                if ref.join_type == "left":
+                    node = LeftOuterJoin(node, right, left_key, right_key)
+                else:
+                    node = HashJoin(node, right, left_key, right_key)
+            else:
+                if ref.join_type == "left":
+                    raise SqlError("LEFT JOIN requires an equality ON clause")
+                translator = _Translator(scope)
+                node = NLJoin(node, right, predicate=Const(True))
+            joined.add(ref.alias)
+            for conjunct in extra_on:
+                translator = _Translator(scope)
+                node = Filter(node, translator.expr(conjunct))
+        # Remaining join-shaped and residual conjuncts filter the tree.
+        for conjunct in joinable + residual:
+            translator = _Translator(scope)
+            node = Filter(node, translator.expr(conjunct))
+        return node
+
+    # ------------------------------------------------------------------
+    def _semi_join(self, node, outer_scope, exists: ExistsOp, negated: bool):
+        """EXISTS (SELECT ... FROM inner WHERE inner.k = outer.k AND ...)
+        -> SemiJoin/AntiJoin(outer_tree, inner_scan, outer.k, inner.k)."""
+        sub = exists.subquery
+        if len(sub.tables) != 1 or sub.group_by or sub.order_by or sub.limit:
+            raise SqlError(
+                "EXISTS subqueries must be a single-table SELECT with "
+                "only a WHERE clause"
+            )
+        inner_ref = sub.tables[0]
+        inner_schema = self.catalog.table_schema(inner_ref.table)
+        inner_cols = set(inner_schema.names)
+
+        correlation = None
+        inner_preds: List = []
+        for conjunct in (
+            _conjuncts(sub.where) if sub.where is not None else []
+        ):
+            pair = self._correlation_pair(
+                conjunct, inner_ref, inner_cols, outer_scope
+            )
+            if pair is not None and correlation is None:
+                correlation = pair
+                continue
+            inner_preds.append(conjunct)
+
+        if correlation is None:
+            raise SqlError(
+                "EXISTS subquery needs an equality correlating it to the "
+                "outer query (inner.col = outer.col)"
+            )
+        inner_col, outer_name = correlation
+
+        predicate = None
+        if inner_preds:
+            translator = _SubqueryTranslator(inner_ref, inner_cols)
+            bound = [translator.expr(c) for c in inner_preds]
+            predicate = bound[0] if len(bound) == 1 else And(*bound)
+        inner_scan = TableScan(inner_ref.table, predicate=predicate)
+        join_cls = AntiJoin if negated else SemiJoin
+        return join_cls(node, inner_scan, outer_name, inner_col)
+
+    def _correlation_pair(self, conjunct, inner_ref, inner_cols, outer_scope):
+        """inner.col = outer.col (either side order) -> (inner, outer)."""
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (
+            isinstance(left, ColumnRef) and isinstance(right, ColumnRef)
+        ):
+            return None
+
+        def side(col: ColumnRef) -> Optional[str]:
+            """The inner bare column name, or None if it is outer."""
+            if col.qualifier == inner_ref.alias:
+                return col.name
+            if col.qualifier is None and col.name in inner_cols:
+                return col.name
+            return None
+
+        left_inner, right_inner = side(left), side(right)
+        if (left_inner is None) == (right_inner is None):
+            return None  # both inner or both outer: not a correlation
+        inner_col = left_inner if left_inner is not None else right_inner
+        outer_col = right if left_inner is not None else left
+        _alias, outer_name = outer_scope.resolve(outer_col)
+        return inner_col, outer_name
+
+    # ------------------------------------------------------------------
+    def _aggregate_or_project(self, stmt, scope, node) -> PlanNode:
+        has_aggs = any(
+            isinstance(item.expr, FuncCall) for item in stmt.items
+        )
+        if not has_aggs and not stmt.group_by:
+            if stmt.having is not None:
+                raise SqlError("HAVING requires GROUP BY or aggregates")
+            return self._project(stmt, scope, node)
+
+        translator = _Translator(scope)
+        group_names = [scope.resolve(c)[1] for c in stmt.group_by]
+
+        # Collect aggregates from SELECT (and HAVING, as hidden specs).
+        specs: List[AggSpec] = []
+        spec_names: List[str] = []
+
+        def spec_for(call: FuncCall, alias: Optional[str]) -> str:
+            func = call.func.lower()
+            expr = None if call.arg is None else translator.expr(call.arg)
+            name = alias or f"{func}_{len(specs)}"
+            spec = AggSpec(func, expr, name)
+            signature = spec.signature()
+            for existing in specs:
+                if existing.signature() == signature:
+                    return existing.name
+            specs.append(spec)
+            spec_names.append(name)
+            return name
+
+        output_names: List[str] = []
+        for item in stmt.items:
+            if item.expr is STAR:
+                raise SqlError("SELECT * cannot be combined with GROUP BY")
+            if isinstance(item.expr, FuncCall):
+                output_names.append(spec_for(item.expr, item.alias))
+            elif isinstance(item.expr, ColumnRef):
+                _alias, name = scope.resolve(item.expr)
+                if name not in group_names:
+                    raise SqlError(
+                        f"column {name!r} must appear in GROUP BY"
+                    )
+                output_names.append(item.alias or item.expr.name)
+            else:
+                raise SqlError(
+                    "grouped SELECT items must be columns or aggregates"
+                )
+
+        having_expr = None
+        if stmt.having is not None:
+            having_expr = self._translate_having(
+                stmt.having, scope, spec_for, group_names
+            )
+
+        if group_names:
+            node = GroupBy(node, group_names, specs)
+            # GroupBy emits group cols then agg cols under their own names.
+            emitted = group_names + spec_names
+        else:
+            node = Aggregate(node, specs)
+            emitted = spec_names
+            if any(
+                isinstance(item.expr, ColumnRef) for item in stmt.items
+            ):
+                raise SqlError("plain columns need a GROUP BY")
+
+        if having_expr is not None:
+            node = Filter(node, having_expr)
+
+        # Reorder/rename to the SELECT list.
+        source_names = []
+        for item, out in zip(stmt.items, output_names):
+            if isinstance(item.expr, FuncCall):
+                source_names.append(out)  # spec name == output name
+            else:
+                _alias, name = scope.resolve(item.expr)
+                source_names.append(name)
+        if source_names != emitted or output_names != emitted:
+            node = _rename_project(node, source_names, output_names)
+        return node
+
+    def _translate_having(self, having, scope, spec_for, group_names) -> Expr:
+        """HAVING over group columns and aggregate calls."""
+
+        def walk(node) -> Expr:
+            if isinstance(node, FuncCall):
+                return Col(spec_for(node, None))
+            if isinstance(node, BinaryOp):
+                if node.op == "AND":
+                    return And(walk(node.left), walk(node.right))
+                if node.op == "OR":
+                    return Or(walk(node.left), walk(node.right))
+                left, right = walk(node.left), walk(node.right)
+                if node.op in _CMP_OPS:
+                    return Cmp(
+                        "==" if node.op == "=" else node.op, left, right
+                    )
+                return Arith(node.op, left, right)
+            if isinstance(node, UnaryOp) and node.op == "NOT":
+                return Not(walk(node.operand))
+            if isinstance(node, ColumnRef):
+                _alias, name = scope.resolve(node)
+                if name not in group_names:
+                    raise SqlError(
+                        f"HAVING column {name!r} must be grouped"
+                    )
+                return Col(name)
+            if isinstance(node, Literal):
+                return Const(node.value)
+            raise SqlError(
+                f"unsupported HAVING construct {type(node).__name__}"
+            )
+
+        return walk(having)
+
+    # ------------------------------------------------------------------
+    def _project(self, stmt, scope, node) -> PlanNode:
+        if len(stmt.items) == 1 and stmt.items[0].expr is STAR:
+            return node
+        names: List[str] = []
+        exprs: List[Expr] = []
+        simple = True
+        for item in stmt.items:
+            if item.expr is STAR:
+                raise SqlError("* must be the only SELECT item")
+            translator = _Translator(scope)
+            bound = translator.expr(item.expr)
+            if isinstance(item.expr, ColumnRef):
+                _alias, name = scope.resolve(item.expr)
+                names.append(item.alias or item.expr.name)
+                exprs.append(bound)
+                if item.alias and item.alias != name:
+                    simple = False
+            else:
+                simple = False
+                names.append(item.alias or f"expr_{len(names)}")
+                exprs.append(bound)
+        if simple:
+            source = [
+                scope.resolve(item.expr)[1] for item in stmt.items
+            ]
+            return Project(node, source)
+        return Project(node, names, exprs=exprs)
+
+    def _sort(self, stmt, node) -> PlanNode:
+        schema = node.output_schema(self.catalog)
+        keys, direction = [], None
+        for item in stmt.order_by:
+            name = item.column
+            if name not in schema:
+                # Allow qualified names emitted by multi-table scopes.
+                matches = [n for n in schema.names if n.endswith("." + name)]
+                if len(matches) == 1:
+                    name = matches[0]
+                else:
+                    raise SqlError(f"ORDER BY column {item.column!r} unknown")
+            if direction is None:
+                direction = item.descending
+            elif direction != item.descending:
+                raise SqlError("mixed ASC/DESC is not supported")
+            keys.append(name)
+        return Sort(node, keys, descending=bool(direction))
+
+
+class _SubqueryTranslator(_Translator):
+    """Translates an EXISTS subquery's inner-only predicates to bare
+    column references against the inner table's base schema."""
+
+    def __init__(self, inner_ref, inner_cols):
+        self.inner_ref = inner_ref
+        self.inner_cols = inner_cols
+        self.aliases = set()
+
+    def column(self, col: ColumnRef) -> Expr:
+        if col.qualifier not in (None, self.inner_ref.alias):
+            raise SqlError(
+                f"subquery predicate references outer table "
+                f"{col.qualifier!r}; only one correlation equality is "
+                "supported"
+            )
+        if col.name not in self.inner_cols:
+            raise SqlError(
+                f"no column {col.name!r} in {self.inner_ref.table!r}"
+            )
+        return Col(col.name)
+
+
+def _rename_project(node, source_names, output_names) -> PlanNode:
+    if list(source_names) == list(output_names):
+        return Project(node, source_names)
+    return Project(
+        node, output_names, exprs=[Col(name) for name in source_names]
+    )
+
+
+def _plan_dml(stmt, catalog) -> PlanNode:
+    schema = catalog.table_schema(stmt.table)
+    if isinstance(stmt, InsertStmt):
+        for row in stmt.rows:
+            if len(row) != len(schema):
+                raise SqlError(
+                    f"INSERT arity {len(row)} != {len(schema)} columns "
+                    f"of {stmt.table!r}"
+                )
+        return InsertRows(stmt.table, stmt.rows)
+
+    predicate = None
+    if stmt.where is not None:
+        scope = _Scope(catalog, [_DmlRef(stmt.table)])
+        translator = _Translator(scope, bare_for_alias=stmt.table)
+        bound = [translator.expr(c) for c in _conjuncts(stmt.where)]
+        predicate = bound[0] if len(bound) == 1 else And(*bound)
+
+    if isinstance(stmt, DeleteStmt):
+        return DeleteRows(stmt.table, predicate)
+
+    # UPDATE: compile SET assignments into a row -> row function.
+    scope = _Scope(catalog, [_DmlRef(stmt.table)])
+    translator = _Translator(scope, bare_for_alias=stmt.table)
+    assignments = []
+    for column, expr in stmt.assignments:
+        if column not in schema:
+            raise SqlError(f"no column {column!r} in {stmt.table!r}")
+        assignments.append((schema.index_of(column), translator.expr(expr)))
+
+    def apply(row: tuple) -> tuple:
+        out = list(row)
+        for idx, bound_expr in assignments:
+            out[idx] = bound_expr.bind(schema)(row)
+        return tuple(out)
+
+    return UpdateRows(stmt.table, predicate, apply)
+
+
+class _DmlRef:
+    """A minimal TableRef stand-in for single-table DML scopes."""
+
+    def __init__(self, table: str):
+        self.table = table
+        self.alias = table
+        self.join_type = "inner"
+        self.condition = None
+
+
+def plan(sql: str, catalog) -> PlanNode:
+    """Compile one statement (SELECT/INSERT/UPDATE/DELETE) to a plan."""
+    stmt = parse(sql)
+    if isinstance(stmt, (InsertStmt, UpdateStmt, DeleteStmt)):
+        return _plan_dml(stmt, catalog)
+    return _Planner(catalog).plan(stmt)

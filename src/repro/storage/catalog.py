@@ -1,0 +1,87 @@
+"""The catalog: table and index metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.relational.schema import Schema
+from repro.storage.btree import BPlusTree
+from repro.storage.file import HeapFile
+
+
+@dataclass
+class IndexInfo:
+    """One B+tree index over a table.
+
+    ``clustered`` means the heap file itself is stored in key order, so a
+    range scan over this index reads the heap sequentially (the paper's
+    clustered index scans of section 5.1.2).
+    """
+
+    name: str
+    table: str
+    key_columns: List[str]
+    tree: BPlusTree
+    clustered: bool = False
+
+
+@dataclass
+class TableInfo:
+    """One base table: schema, heap file, and its indexes."""
+
+    name: str
+    schema: Schema
+    heap: HeapFile
+    clustered_on: Optional[List[str]] = None
+    indexes: Dict[str, IndexInfo] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return self.heap.num_rows
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+
+class Catalog:
+    """Name -> metadata maps for tables and indexes."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableInfo] = {}
+
+    def add_table(self, info: TableInfo) -> None:
+        if info.name in self._tables:
+            raise ValueError(f"table {info.name!r} already exists")
+        self._tables[info.name] = info
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def table_schema(self, name: str) -> Schema:
+        return self.table(name).schema
+
+    def index(self, table: str, index: str) -> IndexInfo:
+        info = self.table(table)
+        try:
+            return info.indexes[index]
+        except KeyError:
+            raise KeyError(
+                f"no index {index!r} on {table!r}; have "
+                f"{sorted(info.indexes)}"
+            ) from None
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,146 @@
+"""The block store and heap files.
+
+The :class:`BlockStore` is the "platter": an in-memory array of block
+payloads per file.  It holds the *content*; the :class:`~repro.hw.disk.Disk`
+charges the *time*.  The buffer pool mediates between the two.
+
+A :class:`HeapFile` is a sequence of :class:`~repro.storage.page.Page`
+blocks belonging to one table (or one sorted run, or one B+tree level --
+anything page-shaped).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.storage.page import Page, RID
+
+
+class BlockStore:
+    """All files' block payloads, addressed by (file_id, block_no).
+
+    File ids are allocated monotonically.  Payloads are arbitrary objects:
+    :class:`Page` for heap files, node dicts for B+trees.
+    """
+
+    def __init__(self):
+        self._files: Dict[int, List[Any]] = {}
+        self._names: Dict[int, str] = {}
+        self._next_id = 0
+
+    def create_file(self, name: str = "file") -> int:
+        file_id = self._next_id
+        self._next_id += 1
+        self._files[file_id] = []
+        self._names[file_id] = name
+        return file_id
+
+    def drop_file(self, file_id: int) -> None:
+        self._files.pop(file_id, None)
+        self._names.pop(file_id, None)
+
+    def file_name(self, file_id: int) -> str:
+        return self._names.get(file_id, f"file#{file_id}")
+
+    def num_blocks(self, file_id: int) -> int:
+        return len(self._files[file_id])
+
+    def append_block(self, file_id: int, payload: Any) -> int:
+        blocks = self._files[file_id]
+        blocks.append(payload)
+        return len(blocks) - 1
+
+    def read_block(self, file_id: int, block_no: int) -> Any:
+        blocks = self._files[file_id]
+        if not 0 <= block_no < len(blocks):
+            raise IndexError(
+                f"block {block_no} out of range for {self.file_name(file_id)} "
+                f"({len(blocks)} blocks)"
+            )
+        return blocks[block_no]
+
+    def write_block(self, file_id: int, block_no: int, payload: Any) -> None:
+        blocks = self._files[file_id]
+        if not 0 <= block_no < len(blocks):
+            raise IndexError(f"block {block_no} out of range")
+        blocks[block_no] = payload
+
+    def files(self) -> Iterator[int]:
+        return iter(self._files)
+
+
+class HeapFile:
+    """A table's pages inside a :class:`BlockStore`.
+
+    Rows are appended page by page; the file never reuses tombstoned
+    slots (simple, and sufficient for the read-mostly workloads the paper
+    evaluates).
+    """
+
+    def __init__(self, store: BlockStore, name: str, rows_per_page: int):
+        if rows_per_page < 1:
+            raise ValueError("rows_per_page must be >= 1")
+        self.store = store
+        self.name = name
+        self.rows_per_page = rows_per_page
+        self.file_id = store.create_file(name)
+        self._row_count = 0
+
+    @property
+    def num_pages(self) -> int:
+        return self.store.num_blocks(self.file_id)
+
+    @property
+    def num_rows(self) -> int:
+        return self._row_count
+
+    # -- bulk, non-timed operations (dataset loading) --------------------
+    def append_row(self, row: tuple) -> RID:
+        """Append a row, creating a new page when the last one is full.
+
+        This is an *untimed* operation used for dataset loading; timed
+        inserts go through the storage manager, which charges the disk.
+        """
+        if self.num_pages == 0:
+            self.store.append_block(self.file_id, Page(self.rows_per_page))
+        last_no = self.num_pages - 1
+        page: Page = self.store.read_block(self.file_id, last_no)
+        if page.full:
+            page = Page(self.rows_per_page)
+            last_no = self.store.append_block(self.file_id, page)
+        slot = page.insert(row)
+        self._row_count += 1
+        return RID(last_no, slot)
+
+    def bulk_load(self, rows) -> int:
+        """Append many rows; returns the number loaded."""
+        count = 0
+        for row in rows:
+            self.append_row(row)
+            count += 1
+        return count
+
+    # -- direct (untimed) access, used by loaders and tests --------------
+    def page(self, block_no: int) -> Page:
+        return self.store.read_block(self.file_id, block_no)
+
+    def fetch(self, rid: RID) -> tuple:
+        row = self.page(rid.block_no).get(rid.slot)
+        if row is None:
+            raise KeyError(f"{rid} is a tombstone in {self.name}")
+        return row
+
+    def all_rows(self) -> List[tuple]:
+        """Every live row in file order (untimed; for tests/loaders)."""
+        rows: List[tuple] = []
+        for block_no in range(self.num_pages):
+            rows.extend(self.page(block_no).rows())
+        return rows
+
+    def rids_and_rows(self) -> Iterator[Tuple[RID, tuple]]:
+        for block_no in range(self.num_pages):
+            for slot, row in self.page(block_no).items():
+                yield RID(block_no, slot), row
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<HeapFile {self.name}: {self.num_rows} rows, {self.num_pages} pages>"

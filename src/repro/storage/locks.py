@@ -1,0 +1,111 @@
+"""Table-level shared/exclusive locks.
+
+Section 4.3.4: QPipe "charges the underlying storage manager with lock and
+update management".  Updates route to a dedicated micro-engine that takes
+an exclusive table lock; scans take shared locks.  "If a table is locked
+for writing, the scan packet will simply wait (and with it, all satellite
+ones), until the lock is released."
+
+Grants are FIFO-fair: a waiting exclusive request blocks later shared
+requests, so writers cannot starve.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """FIFO-fair table locks.
+
+    Usage inside a process::
+
+        yield lock_manager.acquire(owner, "lineitem", LockMode.SHARED)
+        ...
+        lock_manager.release(owner, "lineitem")
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        # resource -> list of (owner, mode) currently granted
+        self._granted: Dict[Hashable, List[Tuple[Any, LockMode]]] = {}
+        # resource -> FIFO of (owner, mode, event)
+        self._waiting: Dict[Hashable, deque] = {}
+
+    # ------------------------------------------------------------------
+    def holders(self, resource: Hashable) -> List[Tuple[Any, LockMode]]:
+        return list(self._granted.get(resource, []))
+
+    def queue_length(self, resource: Hashable) -> int:
+        return len(self._waiting.get(resource, ()))
+
+    # ------------------------------------------------------------------
+    def acquire(self, owner: Any, resource: Hashable, mode: LockMode) -> Event:
+        """Request a lock; the returned event fires on grant.
+
+        Re-acquiring a mode the owner already holds succeeds immediately
+        (locks are not counted per owner; release drops the owner's grant).
+        """
+        event = Event(self.sim)
+        granted = self._granted.setdefault(resource, [])
+        if any(o == owner and m == mode for o, m in granted):
+            event.succeed()
+            return event
+        queue = self._waiting.setdefault(resource, deque())
+        queue.append((owner, mode, event))
+        self._grant_waiters(resource)
+        return event
+
+    def release(self, owner: Any, resource: Hashable) -> None:
+        granted = self._granted.get(resource)
+        if not granted:
+            raise SimulationError(f"release of unheld lock on {resource!r}")
+        remaining = [(o, m) for o, m in granted if o != owner]
+        if len(remaining) == len(granted):
+            raise SimulationError(
+                f"{owner!r} does not hold a lock on {resource!r}"
+            )
+        self._granted[resource] = remaining
+        self._grant_waiters(resource)
+
+    def release_all(self, owner: Any) -> None:
+        """Drop every lock held by *owner* (end-of-transaction)."""
+        for resource in list(self._granted):
+            if any(o == owner for o, _m in self._granted[resource]):
+                self.release(owner, resource)
+
+    # ------------------------------------------------------------------
+    def _compatible(self, resource: Hashable, mode: LockMode) -> bool:
+        granted = self._granted.get(resource, [])
+        if not granted:
+            return True
+        if mode is LockMode.EXCLUSIVE:
+            return False
+        return all(m is LockMode.SHARED for _o, m in granted)
+
+    def _grant_waiters(self, resource: Hashable) -> None:
+        queue = self._waiting.get(resource)
+        if not queue:
+            return
+        granted = self._granted.setdefault(resource, [])
+        while queue:
+            owner, mode, event = queue[0]
+            # Skip requesters that died while waiting (triggered, or
+            # interrupted: their resume callback is gone).
+            if event.triggered or event.abandoned:
+                queue.popleft()
+                continue
+            if not self._compatible(resource, mode):
+                break  # FIFO: nobody overtakes the head
+            queue.popleft()
+            granted.append((owner, mode))
+            event.succeed()

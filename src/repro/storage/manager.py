@@ -1,0 +1,338 @@
+"""The storage manager facade -- what BerkeleyDB is to the paper's QPipe.
+
+Everything engines need from storage goes through here:
+
+* DDL + bulk loading (untimed; datasets exist before the clock starts),
+* timed page reads through the buffer pool,
+* timed index traversals (root-to-leaf, then leaf chain),
+* timed inserts/updates/deletes with index maintenance,
+* temp files for sort runs and OSP materialisations,
+* the table lock manager.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.hw.host import Host
+from repro.relational.schema import Schema
+from repro.storage.btree import BPlusTree
+from repro.storage.bufferpool import BufferPool
+from repro.storage.catalog import Catalog, IndexInfo, TableInfo
+from repro.storage.file import BlockStore, HeapFile
+from repro.storage.locks import LockManager
+from repro.storage.page import RID, Page, rows_per_page
+
+
+class StorageManager:
+    """One database instance on one simulated host.
+
+    Args:
+        host: the simulated machine (clock, disk, CPU).
+        buffer_pages: buffer pool frames.
+        policy: replacement policy name (``lru`` models BerkeleyDB,
+            ``arc`` models DBMS X's stronger pool).
+        index_order: B+tree node fanout.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        buffer_pages: int = 256,
+        policy: str = "lru",
+        index_order: int = 64,
+        use_scan_ring: bool = True,
+        scan_window_shared: bool = False,
+        scan_ring_fraction: float = 0.125,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.store = BlockStore()
+        self.pool = BufferPool(
+            sim=host.sim,
+            disk=host.disk,
+            store=self.store,
+            capacity=buffer_pages,
+            policy_name=policy,
+            page_hit_cost=host.config.page_hit_cost,
+            use_scan_ring=use_scan_ring,
+            scan_window_shared=scan_window_shared,
+            scan_ring_fraction=scan_ring_fraction,
+        )
+        self.catalog = Catalog()
+        self.locks = LockManager(host.sim)
+        self.index_order = index_order
+        self._temp_count = 0
+
+    # ------------------------------------------------------------------
+    # DDL and loading (untimed: datasets pre-exist the measured run)
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        clustered_on: Optional[Sequence[str]] = None,
+    ) -> TableInfo:
+        heap = HeapFile(self.store, name, rows_per_page(schema.row_width))
+        info = TableInfo(
+            name=name,
+            schema=schema,
+            heap=heap,
+            clustered_on=list(clustered_on) if clustered_on else None,
+        )
+        self.catalog.add_table(info)
+        return info
+
+    def load_table(self, name: str, rows: Sequence[tuple]) -> int:
+        """Bulk-load rows (sorted on the clustering key when declared)."""
+        info = self.catalog.table(name)
+        if info.num_rows:
+            raise ValueError(f"table {name!r} is already loaded")
+        if info.clustered_on:
+            key = self._key_fn(info.schema, info.clustered_on)
+            rows = sorted(rows, key=key)
+        count = info.heap.bulk_load(rows)
+        # Any pre-existing indexes must be (re)built over the new data.
+        for index in info.indexes.values():
+            self._build_index(info, index)
+        return count
+
+    def create_index(
+        self,
+        table: str,
+        columns: Sequence[str],
+        name: Optional[str] = None,
+        clustered: bool = False,
+    ) -> IndexInfo:
+        info = self.catalog.table(table)
+        columns = list(columns)
+        if name is None:
+            name = f"{table}_{'_'.join(columns)}_idx"
+        if name in info.indexes:
+            raise ValueError(f"index {name!r} already exists on {table!r}")
+        if clustered:
+            if info.clustered_on != columns:
+                raise ValueError(
+                    f"clustered index on {columns} requires the table to be "
+                    f"clustered on the same columns (is: {info.clustered_on})"
+                )
+        tree = BPlusTree(self.store, name, order=self.index_order)
+        index = IndexInfo(
+            name=name,
+            table=table,
+            key_columns=columns,
+            tree=tree,
+            clustered=clustered,
+        )
+        info.indexes[name] = index
+        if info.num_rows:
+            self._build_index(info, index)
+        return index
+
+    def _build_index(self, info: TableInfo, index: IndexInfo) -> None:
+        key = self._key_fn(info.schema, index.key_columns)
+        pairs = sorted(
+            ((key(row), rid) for rid, row in info.heap.rids_and_rows()),
+            key=lambda kv: (kv[0], kv[1]),
+        )
+        if index.tree.num_keys:
+            # Rebuild from scratch (load after create_index).
+            index.tree = BPlusTree(self.store, index.name, self.index_order)
+            info.indexes[index.name] = index
+        index.tree.bulk_build(iter(pairs))
+
+    @staticmethod
+    def _key_fn(schema: Schema, columns: Sequence[str]):
+        idxs = [schema.index_of(c) for c in columns]
+        if len(idxs) == 1:
+            only = idxs[0]
+            return lambda row: row[only]
+        return lambda row: tuple(row[i] for i in idxs)
+
+    # ------------------------------------------------------------------
+    # Timed reads
+    # ------------------------------------------------------------------
+    def read_table_page(
+        self, table: str, block_no: int, pin: bool = False,
+        scan: bool = False, stream: Any = None,
+    ) -> Generator:
+        """Coroutine: one heap page of *table* (returns the Page).
+
+        ``scan=True`` flags a sequential-scan read; ``stream`` names the
+        scan so its pages live in a private ring (see BufferPool).
+        """
+        heap = self.catalog.table(table).heap
+        page = yield from self.pool.get_page(
+            heap.file_id, block_no, pin=pin, cold=scan, stream=stream
+        )
+        return page
+
+    def fetch_row(self, table: str, rid: RID) -> Generator:
+        """Coroutine: one row by RID (reads its page through the pool)."""
+        page = yield from self.read_table_page(table, rid.block_no)
+        row = page.get(rid.slot)
+        if row is None:
+            raise KeyError(f"{rid} is a tombstone in {table}")
+        return row
+
+    def index_range(
+        self,
+        table: str,
+        index: str,
+        lo: Any = None,
+        hi: Any = None,
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> Generator:
+        """Coroutine: all (key, RID) pairs in the range, in key order.
+
+        This is the paper's unclustered-scan *phase one*: probe the index
+        and build the full matching RID list (a full-overlap operation).
+        Charges one buffer-pool access per node on the root-to-leaf path
+        and per leaf visited.
+        """
+        info = self.catalog.index(table, index)
+        tree = info.tree
+        # Root-to-leaf descent.
+        block = tree.root_block
+        node = yield from self.pool.get_page(tree.file_id, block)
+        while not node["leaf"]:
+            block = (
+                tree.child_for(node, lo)
+                if lo is not None
+                else tree.leftmost_child(node)
+            )
+            node = yield from self.pool.get_page(tree.file_id, block)
+        # Leaf chain walk.
+        results: List[Tuple[Any, RID]] = []
+        while True:
+            for key, values in zip(node["keys"], node["vals"]):
+                if lo is not None and (key < lo or (lo_open and key == lo)):
+                    continue
+                if hi is not None and (key > hi or (hi_open and key == hi)):
+                    return results
+                results.extend((key, value) for value in values)
+            nxt = node["next"]
+            if nxt < 0:
+                return results
+            node = yield from self.pool.get_page(tree.file_id, nxt)
+        return results
+
+    def clustered_start_page(self, table: str, index: str, lo: Any) -> Generator:
+        """Coroutine: the heap page where key range ``[lo, ...`` begins.
+
+        Descends the clustered index root-to-leaf (timed).  Returns 0 for
+        an unbounded scan and ``num_pages`` when ``lo`` lies past the end.
+        """
+        info = self.catalog.index(table, index)
+        if not info.clustered:
+            raise ValueError(f"{index!r} is not a clustered index")
+        if lo is None:
+            return 0
+        tree = info.tree
+        block = tree.root_block
+        node = yield from self.pool.get_page(tree.file_id, block)
+        while not node["leaf"]:
+            block = tree.child_for(node, lo)
+            node = yield from self.pool.get_page(tree.file_id, block)
+        for key, values in zip(node["keys"], node["vals"]):
+            if key >= lo:
+                return values[0].block_no
+        if node["next"] >= 0:
+            nxt = yield from self.pool.get_page(tree.file_id, node["next"])
+            if nxt["keys"]:
+                return nxt["vals"][0][0].block_no
+        return self.num_pages(table)
+
+    # ------------------------------------------------------------------
+    # Timed writes (section 4.3.4: updates go through locking upstream)
+    # ------------------------------------------------------------------
+    def insert_row(self, table: str, row: tuple) -> Generator:
+        """Coroutine: append one row, maintain indexes, charge writes."""
+        info = self.catalog.table(table)
+        if len(row) != len(info.schema):
+            raise ValueError(
+                f"row arity {len(row)} != schema arity {len(info.schema)}"
+            )
+        rid = info.heap.append_row(row)
+        yield from self.pool.write_page(info.heap.file_id, rid.block_no)
+        for index in info.indexes.values():
+            key = self._key_fn(info.schema, index.key_columns)(row)
+            index.tree.insert(key, rid)
+            # Charge one leaf write per maintained index.
+            yield from self.host.disk.write(index.tree.file_id, 0)
+        return rid
+
+    def delete_row(self, table: str, rid: RID) -> Generator:
+        """Coroutine: tombstone one row and unhook it from indexes."""
+        info = self.catalog.table(table)
+        page = yield from self.read_table_page(table, rid.block_no)
+        row = page.get(rid.slot)
+        if row is None:
+            return False
+        page.delete(rid.slot)
+        info.heap._row_count -= 1
+        yield from self.pool.write_page(info.heap.file_id, rid.block_no)
+        for index in info.indexes.values():
+            key = self._key_fn(info.schema, index.key_columns)(row)
+            index.tree.delete(key, rid)
+            yield from self.host.disk.write(index.tree.file_id, 0)
+        return True
+
+    def update_row(self, table: str, rid: RID, new_row: tuple) -> Generator:
+        """Coroutine: in-place update (key changes update the indexes)."""
+        info = self.catalog.table(table)
+        page = yield from self.read_table_page(table, rid.block_no)
+        old_row = page.get(rid.slot)
+        if old_row is None:
+            return False
+        page.update(rid.slot, new_row)
+        yield from self.pool.write_page(info.heap.file_id, rid.block_no)
+        for index in info.indexes.values():
+            key_fn = self._key_fn(info.schema, index.key_columns)
+            old_key, new_key = key_fn(old_row), key_fn(new_row)
+            if old_key != new_key:
+                index.tree.delete(old_key, rid)
+                index.tree.insert(new_key, rid)
+                yield from self.host.disk.write(index.tree.file_id, 0)
+        return True
+
+    # ------------------------------------------------------------------
+    # Temp files (sort runs, OSP materialisations)
+    # ------------------------------------------------------------------
+    def create_temp_file(self, row_width: int, label: str = "tmp") -> HeapFile:
+        self._temp_count += 1
+        name = f"{label}#{self._temp_count}"
+        return HeapFile(self.store, name, rows_per_page(row_width))
+
+    def drop_temp_file(self, heap: HeapFile) -> None:
+        self.pool.invalidate_file(heap.file_id)
+        self.store.drop_file(heap.file_id)
+
+    def write_run(self, heap: HeapFile, rows: Sequence[tuple]) -> Generator:
+        """Coroutine: append *rows* to a temp heap, charging page writes."""
+        if not rows:
+            return 0
+        first_new_page = heap.num_pages
+        for row in rows:
+            heap.append_row(row)
+        for block_no in range(max(0, first_new_page - 1), heap.num_pages):
+            yield from self.host.disk.write(heap.file_id, block_no)
+        return len(rows)
+
+    def read_temp_page(self, heap: HeapFile, block_no: int) -> Generator:
+        """Coroutine: one temp-file page through the buffer pool."""
+        page = yield from self.pool.get_page(heap.file_id, block_no)
+        return page
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def num_pages(self, table: str) -> int:
+        return self.catalog.table(table).num_pages
+
+    def num_rows(self, table: str) -> int:
+        return self.catalog.table(table).num_rows
+
+    def table_file_id(self, table: str) -> int:
+        return self.catalog.table(table).heap.file_id

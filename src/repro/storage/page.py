@@ -1,0 +1,121 @@
+"""Pages, slots, and record identifiers.
+
+A page holds up to ``capacity`` rows in slot order.  Rows are plain Python
+tuples; the *declared* row width (bytes) of the owning table determines how
+many rows fit an 8 KB page, which is what keeps the simulated table sizes
+proportional to the paper's datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+#: Simulated page size in bytes (BerkeleyDB's common default).
+PAGE_SIZE = 8192
+
+
+@dataclass(frozen=True, order=True)
+class RID:
+    """A record identifier: (block number, slot within the page).
+
+    RIDs order by page first, which is exactly the property the paper's
+    unclustered index scan exploits when it sorts the matching RID list
+    "on ascending page number to avoid multiple visits on the same page".
+    """
+
+    block_no: int
+    slot: int
+
+    def __repr__(self):
+        return f"RID({self.block_no},{self.slot})"
+
+
+class Page:
+    """A slotted page of rows.
+
+    Deleted slots become ``None`` tombstones so that live RIDs never move
+    (no slot compaction), matching the stability guarantees a storage
+    manager must give its indexes.
+    """
+
+    __slots__ = ("capacity", "_slots")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"page capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[tuple]] = []
+
+    @property
+    def num_slots(self) -> int:
+        """Total slots including tombstones."""
+        return len(self._slots)
+
+    @property
+    def num_live(self) -> int:
+        return sum(1 for row in self._slots if row is not None)
+
+    @property
+    def full(self) -> bool:
+        return len(self._slots) >= self.capacity
+
+    def insert(self, row: tuple) -> int:
+        """Append *row*; returns the slot number.
+
+        Raises ValueError when the page is full.
+        """
+        if self.full:
+            raise ValueError("page is full")
+        self._slots.append(row)
+        return len(self._slots) - 1
+
+    def get(self, slot: int) -> Optional[tuple]:
+        """The row at *slot*, or None for a tombstone."""
+        if not 0 <= slot < len(self._slots):
+            raise IndexError(f"slot {slot} out of range 0..{len(self._slots)-1}")
+        return self._slots[slot]
+
+    def update(self, slot: int, row: tuple) -> None:
+        if not 0 <= slot < len(self._slots):
+            raise IndexError(f"slot {slot} out of range")
+        if self._slots[slot] is None:
+            raise ValueError(f"slot {slot} is a tombstone")
+        self._slots[slot] = row
+
+    def delete(self, slot: int) -> None:
+        """Tombstone the row at *slot*."""
+        if not 0 <= slot < len(self._slots):
+            raise IndexError(f"slot {slot} out of range")
+        self._slots[slot] = None
+
+    def restore(self, slot: int, row: tuple) -> None:
+        """Un-tombstone *slot* (transaction rollback of a delete)."""
+        if not 0 <= slot < len(self._slots):
+            raise IndexError(f"slot {slot} out of range")
+        if self._slots[slot] is not None:
+            raise ValueError(f"slot {slot} is occupied")
+        self._slots[slot] = row
+
+    def rows(self) -> List[tuple]:
+        """All live rows in slot order."""
+        return [row for row in self._slots if row is not None]
+
+    def items(self) -> Iterator[Tuple[int, tuple]]:
+        """(slot, row) pairs for live rows."""
+        for slot, row in enumerate(self._slots):
+            if row is not None:
+                yield slot, row
+
+    def __len__(self):
+        return self.num_live
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Page {self.num_live}/{self.capacity}>"
+
+
+def rows_per_page(row_width: int, page_size: int = PAGE_SIZE) -> int:
+    """How many rows of *row_width* bytes fit one page (at least 1)."""
+    if row_width <= 0:
+        raise ValueError(f"row width must be positive: {row_width}")
+    return max(1, page_size // row_width)

@@ -1,0 +1,296 @@
+"""Write-ahead logging and transaction support.
+
+The paper leaves "the necessary transactional support" to BerkeleyDB
+(section 4.4); this module is that substrate.  The design matches the
+rest of the storage manager's write-through pages:
+
+* Data page writes go straight to disk (a *steal* policy: uncommitted
+  changes can be on disk at any time).
+* Every change logs a **before-image** first, and the log is flushed
+  before the page write (the WAL rule), so recovery can always undo.
+* Commit forces the log (durability); since pages are write-through,
+  committed work needs no redo -- **recovery is undo-only**: walk the
+  log backwards and reverse every operation of each unfinished
+  transaction.
+
+Log appends charge sequential writes on a dedicated log device.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.hw.disk import Disk
+from repro.sim import SimulationError, Simulator
+from repro.storage.page import RID
+
+
+class LogType(enum.Enum):
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    txn_id: int
+    type: LogType
+    table: Optional[str] = None
+    rid: Optional[RID] = None
+    before: Optional[tuple] = None
+    after: Optional[tuple] = None
+
+
+@dataclass
+class WriteAheadLog:
+    """An append-only log on its own (simulated) device.
+
+    Records accumulate in a buffer; :meth:`flush` makes everything up to
+    the current tail durable, charging one sequential block write per
+    ``records_per_block`` buffered records (log writes batch well).
+    """
+
+    sim: Simulator
+    device: Disk
+    records_per_block: int = 64
+
+    def __post_init__(self):
+        self.records: List[LogRecord] = []
+        self.flushed_lsn = -1
+        self._next_block = 0
+
+    @property
+    def tail_lsn(self) -> int:
+        return len(self.records) - 1
+
+    def append(
+        self,
+        txn_id: int,
+        type: LogType,
+        table: Optional[str] = None,
+        rid: Optional[RID] = None,
+        before: Optional[tuple] = None,
+        after: Optional[tuple] = None,
+    ) -> int:
+        record = LogRecord(
+            lsn=len(self.records),
+            txn_id=txn_id,
+            type=type,
+            table=table,
+            rid=rid,
+            before=before,
+            after=after,
+        )
+        self.records.append(record)
+        return record.lsn
+
+    def flush(self, up_to: Optional[int] = None) -> Generator:
+        """Coroutine: make the log durable up to *up_to* (default: tail)."""
+        target = self.tail_lsn if up_to is None else up_to
+        if target <= self.flushed_lsn:
+            return
+        pending = target - self.flushed_lsn
+        blocks = max(1, -(-pending // self.records_per_block))
+        for _ in range(blocks):
+            yield from self.device.write(0, self._next_block)
+            self._next_block += 1
+        self.flushed_lsn = target
+
+    def durable_records(self) -> List[LogRecord]:
+        """What survives a crash: records flushed to the device."""
+        return self.records[: self.flushed_lsn + 1]
+
+
+class TransactionState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    txn_id: int
+    state: TransactionState = TransactionState.ACTIVE
+    #: LSNs of this transaction's own records, in order.
+    lsns: List[int] = field(default_factory=list)
+
+
+class TransactionManager:
+    """ACID-ish transactions over a StorageManager.
+
+    Usage (inside a simulation process)::
+
+        txn = tm.begin()
+        rid = yield from tm.insert(txn, "t", row)
+        yield from tm.update(txn, "t", rid, new_row)
+        yield from tm.commit(txn)     # or: yield from tm.abort(txn)
+    """
+
+    def __init__(self, sm, log_device: Optional[Disk] = None):
+        self.sm = sm
+        self.sim = sm.sim
+        device = log_device or Disk(
+            sm.sim,
+            transfer_time=sm.host.config.disk_transfer_time,
+            seek_time=0.0,  # dedicated, sequential-only log device
+            name="wal",
+        )
+        self.wal = WriteAheadLog(sm.sim, device)
+        self._next_txn = 0
+        self.active: Dict[int, Transaction] = {}
+
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        self._next_txn += 1
+        txn = Transaction(self._next_txn)
+        txn.lsns.append(self.wal.append(txn.txn_id, LogType.BEGIN))
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def _check_active(self, txn: Transaction) -> None:
+        if txn.state is not TransactionState.ACTIVE:
+            raise SimulationError(
+                f"transaction {txn.txn_id} is {txn.state.value}"
+            )
+
+    # ------------------------------------------------------------------
+    # Logged mutations (WAL rule: flush the record before the page write)
+    # ------------------------------------------------------------------
+    def insert(self, txn: Transaction, table: str, row: tuple) -> Generator:
+        self._check_active(txn)
+        lsn = self.wal.append(
+            txn.txn_id, LogType.INSERT, table=table, after=row
+        )
+        txn.lsns.append(lsn)
+        yield from self.wal.flush(lsn)
+        rid = yield from self.sm.insert_row(table, row)
+        # Patch the record with the assigned RID (needed for undo).
+        self.wal.records[lsn] = LogRecord(
+            lsn=lsn, txn_id=txn.txn_id, type=LogType.INSERT,
+            table=table, rid=rid, after=row,
+        )
+        yield from self.wal.flush(lsn)
+        return rid
+
+    def update(
+        self, txn: Transaction, table: str, rid: RID, new_row: tuple
+    ) -> Generator:
+        self._check_active(txn)
+        page = yield from self.sm.read_table_page(table, rid.block_no)
+        before = page.get(rid.slot)
+        if before is None:
+            raise KeyError(f"{rid} is a tombstone in {table}")
+        lsn = self.wal.append(
+            txn.txn_id, LogType.UPDATE, table=table, rid=rid,
+            before=before, after=new_row,
+        )
+        txn.lsns.append(lsn)
+        yield from self.wal.flush(lsn)
+        yield from self.sm.update_row(table, rid, new_row)
+
+    def delete(self, txn: Transaction, table: str, rid: RID) -> Generator:
+        self._check_active(txn)
+        page = yield from self.sm.read_table_page(table, rid.block_no)
+        before = page.get(rid.slot)
+        if before is None:
+            return False
+        lsn = self.wal.append(
+            txn.txn_id, LogType.DELETE, table=table, rid=rid, before=before
+        )
+        txn.lsns.append(lsn)
+        yield from self.wal.flush(lsn)
+        yield from self.sm.delete_row(table, rid)
+        return True
+
+    # ------------------------------------------------------------------
+    def commit(self, txn: Transaction) -> Generator:
+        self._check_active(txn)
+        lsn = self.wal.append(txn.txn_id, LogType.COMMIT)
+        txn.lsns.append(lsn)
+        yield from self.wal.flush(lsn)  # durability point
+        txn.state = TransactionState.COMMITTED
+        del self.active[txn.txn_id]
+
+    def abort(self, txn: Transaction) -> Generator:
+        """Roll the transaction back using its before-images."""
+        self._check_active(txn)
+        for lsn in reversed(txn.lsns):
+            yield from self._undo(self.wal.records[lsn])
+        lsn = self.wal.append(txn.txn_id, LogType.ABORT)
+        yield from self.wal.flush(lsn)
+        txn.state = TransactionState.ABORTED
+        del self.active[txn.txn_id]
+
+    def _undo(self, record: LogRecord) -> Generator:
+        if record.type is LogType.INSERT and record.rid is not None:
+            yield from self.sm.delete_row(record.table, record.rid)
+        elif record.type is LogType.UPDATE:
+            yield from self.sm.update_row(
+                record.table, record.rid, record.before
+            )
+        elif record.type is LogType.DELETE:
+            yield from self._undelete(record)
+
+    def _undelete(self, record: LogRecord) -> Generator:
+        info = self.sm.catalog.table(record.table)
+        page = yield from self.sm.read_table_page(
+            record.table, record.rid.block_no
+        )
+        page.restore(record.rid.slot, record.before)
+        info.heap._row_count += 1
+        yield from self.sm.pool.write_page(
+            info.heap.file_id, record.rid.block_no
+        )
+        for index in info.indexes.values():
+            key = self.sm._key_fn(info.schema, index.key_columns)(
+                record.before
+            )
+            index.tree.insert(key, record.rid)
+            yield from self.sm.host.disk.write(index.tree.file_id, 0)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (undo-only; see module docstring)
+    # ------------------------------------------------------------------
+    def simulate_crash(self) -> None:
+        """Drop everything volatile: unflushed log records and the
+        transaction table.  Data pages are write-through, so every
+        *applied* operation has a durable log record (the WAL rule) and
+        :meth:`recover` can always undo it."""
+        self.wal.records = self.wal.durable_records()
+        self.active.clear()
+
+    def recover(self) -> Generator:
+        """Coroutine: bring the database to a transaction-consistent state
+        after a simulated crash.
+
+        Only *durable* log records exist after a crash.  Transactions
+        without a durable COMMIT/ABORT are losers: their operations are
+        undone in reverse log order.  Returns the list of undone txn ids.
+        """
+        durable = self.wal.durable_records()
+        finished = {
+            r.txn_id
+            for r in durable
+            if r.type in (LogType.COMMIT, LogType.ABORT)
+        }
+        losers = [
+            r for r in reversed(durable)
+            if r.txn_id not in finished
+            and r.type in (LogType.INSERT, LogType.UPDATE, LogType.DELETE)
+        ]
+        for record in losers:
+            yield from self._undo(record)
+        undone = sorted({r.txn_id for r in losers})
+        for txn_id in undone:
+            lsn = self.wal.append(txn_id, LogType.ABORT)
+            yield from self.wal.flush(lsn)
+            self.active.pop(txn_id, None)
+        # Anything still "active" with no durable work simply evaporates.
+        self.active.clear()
+        return undone

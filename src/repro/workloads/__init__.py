@@ -1,0 +1,23 @@
+"""Workloads: TPC-H, the Wisconsin benchmark, and client drivers.
+
+The paper evaluates with two datasets:
+
+* a **4 GB TPC-H** database (standard dbgen/qgen) running queries
+  Q1, Q4, Q6, Q8, Q12, Q13, Q14, Q19, and
+* a **Wisconsin benchmark** database: two 8M-row 200-byte-tuple tables
+  (BIG1, BIG2) and one 800K-row table (SMALL), total 4.5 GB.
+
+Both are rebuilt here as scaled-down synthetic generators with the same
+schemas and the value distributions the evaluated queries depend on.
+Scale knobs live in :mod:`repro.harness.config`.
+"""
+
+from repro.workloads.clients import ClosedLoopClient, mixed_tpch_factory, run_workload
+from repro.workloads.metrics import WorkloadMetrics
+
+__all__ = [
+    "ClosedLoopClient",
+    "WorkloadMetrics",
+    "mixed_tpch_factory",
+    "run_workload",
+]

@@ -1,0 +1,54 @@
+"""Workload-level metrics: throughput, response times, I/O."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.results import QueryResult
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregated outcome of one workload run."""
+
+    results: List[QueryResult] = field(default_factory=list)
+    #: Disk blocks read during the measured window.
+    blocks_read: int = 0
+    blocks_written: int = 0
+    #: Virtual time from first submission to last completion.
+    makespan: float = 0.0
+    #: Buffer pool hit ratio over the window.
+    pool_hit_ratio: float = 0.0
+
+    @property
+    def queries_completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput_qph(self) -> float:
+        """Completed queries per (virtual) hour -- the Figure 1b/12 metric."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.queries_completed * 3600.0 / self.makespan
+
+    @property
+    def avg_response_time(self) -> float:
+        """Mean response time in seconds -- the Figure 13 metric."""
+        if not self.results:
+            return 0.0
+        return sum(r.response_time for r in self.results) / len(self.results)
+
+    @property
+    def max_response_time(self) -> float:
+        if not self.results:
+            return 0.0
+        return max(r.response_time for r in self.results)
+
+    def percentile_response_time(self, q: float) -> float:
+        """The q-quantile (0..1) of response times."""
+        if not self.results:
+            return 0.0
+        ordered = sorted(r.response_time for r in self.results)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]

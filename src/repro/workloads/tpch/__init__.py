@@ -1,0 +1,34 @@
+"""The TPC-H workload: schemas, dbgen-like data, qgen-like query plans."""
+
+from repro.workloads.tpch.dbgen import TpchScale, generate_tpch, load_tpch
+from repro.workloads.tpch.queries import (
+    QUERY_BUILDERS,
+    q1,
+    q4_hash,
+    q4_merge,
+    q6,
+    q8,
+    q12,
+    q13,
+    q14,
+    q19,
+)
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, date_int
+
+__all__ = [
+    "QUERY_BUILDERS",
+    "TPCH_SCHEMAS",
+    "TpchScale",
+    "date_int",
+    "generate_tpch",
+    "load_tpch",
+    "q1",
+    "q4_hash",
+    "q4_merge",
+    "q6",
+    "q8",
+    "q12",
+    "q13",
+    "q14",
+    "q19",
+]

@@ -1,0 +1,214 @@
+"""A dbgen-like synthetic TPC-H generator.
+
+Row counts scale with a single factor; value distributions follow the
+parts of dbgen's behaviour that the evaluated queries actually depend
+on (date ranges and correlations, discount/quantity ranges, part type
+and brand vocabularies, priority skew).  Comments are deterministic
+filler -- the queries never read them, they only size the rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.storage.manager import StorageManager
+from repro.workloads.tpch import schema as S
+
+
+@dataclass(frozen=True)
+class TpchScale:
+    """Row counts per table; ``factor`` multiplies all of them.
+
+    ``factor=1.0`` is the harness default (~60k lineitem rows, the
+    geometry DESIGN.md section 5 describes); tests use much less.
+    """
+
+    factor: float = 1.0
+
+    @property
+    def orders(self) -> int:
+        return max(10, int(15_000 * self.factor))
+
+    @property
+    def customers(self) -> int:
+        return max(5, int(1_500 * self.factor))
+
+    @property
+    def parts(self) -> int:
+        return max(10, int(2_000 * self.factor))
+
+    @property
+    def suppliers(self) -> int:
+        return max(3, int(100 * self.factor))
+
+
+def generate_tpch(scale: TpchScale, seed: int = 1) -> Dict[str, List[tuple]]:
+    """All eight tables as row lists, keyed by table name."""
+    rng = random.Random(seed)
+    tables: Dict[str, List[tuple]] = {}
+
+    tables["region"] = [
+        (i, name) for i, name in enumerate(S.REGIONS)
+    ]
+    tables["nation"] = [
+        (i, name, S.NATION_REGION[i]) for i, name in enumerate(S.NATIONS)
+    ]
+    tables["supplier"] = [
+        (i + 1, f"Supplier#{i + 1:09d}", rng.randrange(len(S.NATIONS)))
+        for i in range(scale.suppliers)
+    ]
+    tables["customer"] = [
+        (
+            i + 1,
+            f"Customer#{i + 1:09d}",
+            rng.randrange(len(S.NATIONS)),
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(S.SEGMENTS),
+        )
+        for i in range(scale.customers)
+    ]
+
+    parts: List[tuple] = []
+    for i in range(scale.parts):
+        partkey = i + 1
+        ptype = " ".join(
+            (
+                rng.choice(S.TYPE_SYLL1),
+                rng.choice(S.TYPE_SYLL2),
+                rng.choice(S.TYPE_SYLL3),
+            )
+        )
+        brand = f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}"
+        retail = round(90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000), 2) / 100
+        parts.append(
+            (
+                partkey,
+                f"part name {partkey}",
+                f"Manufacturer#{rng.randrange(1, 6)}",
+                brand,
+                ptype,
+                rng.randrange(1, 51),
+                rng.choice(S.CONTAINERS),
+                retail,
+            )
+        )
+    tables["part"] = parts
+
+    tables["partsupp"] = [
+        (
+            p + 1,
+            rng.randrange(scale.suppliers) + 1,
+            rng.randrange(1, 10000),
+            round(rng.uniform(1.0, 1000.0), 2),
+        )
+        for p in range(scale.parts)
+        for _copy in range(2)
+    ]
+
+    orders: List[tuple] = []
+    lineitems: List[tuple] = []
+    for i in range(scale.orders):
+        orderkey = i + 1
+        custkey = rng.randrange(scale.customers) + 1
+        orderdate = rng.randrange(S.START_DATE, S.END_DATE - 151)
+        year = 1970 + orderdate // 365  # close enough for grouping
+        priority = rng.choice(S.PRIORITIES)
+        prioclass = 1 if priority[0] in "12" else 0
+        n_lines = rng.randrange(1, 8)
+        total = 0.0
+        all_f = True
+        for line_no in range(1, n_lines + 1):
+            partkey = rng.randrange(scale.parts) + 1
+            suppkey = rng.randrange(scale.suppliers) + 1
+            quantity = float(rng.randrange(1, 51))
+            price = round(quantity * parts[partkey - 1][7], 2)
+            discount = round(rng.randrange(0, 11) / 100.0, 2)
+            tax = round(rng.randrange(0, 9) / 100.0, 2)
+            shipdate = orderdate + rng.randrange(1, 122)
+            commitdate = orderdate + rng.randrange(30, 91)
+            receiptdate = shipdate + rng.randrange(1, 31)
+            current = S.END_DATE - 100
+            if receiptdate <= current:
+                returnflag = rng.choice(("R", "A"))
+            else:
+                returnflag = "N"
+            linestatus = "F" if shipdate <= current else "O"
+            if linestatus != "F":
+                all_f = False
+            total += price * (1 + tax) * (1 - discount)
+            lineitems.append(
+                (
+                    orderkey,
+                    partkey,
+                    suppkey,
+                    line_no,
+                    quantity,
+                    price,
+                    discount,
+                    tax,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    rng.choice(S.SHIP_MODES),
+                    "c" * 8,
+                )
+            )
+        status = "F" if all_f else "O"
+        orders.append(
+            (
+                orderkey,
+                custkey,
+                status,
+                round(total, 2),
+                orderdate,
+                year,
+                priority,
+                prioclass,
+                "c" * 8,
+            )
+        )
+    tables["orders"] = orders
+    tables["lineitem"] = lineitems
+    return tables
+
+
+def load_tpch(
+    sm: StorageManager,
+    scale: TpchScale,
+    seed: int = 1,
+    with_indexes: bool = True,
+) -> Dict[str, List[tuple]]:
+    """Create, load, and index all TPC-H tables; returns the raw rows.
+
+    Orders and lineitem are clustered on their order keys (dbgen emits
+    them in that order), which is what the paper's merge-join plans for
+    Q4 exploit.
+    """
+    tables = generate_tpch(scale, seed=seed)
+    clustering = {
+        "lineitem": ["l_orderkey"],
+        "orders": ["o_orderkey"],
+        "part": ["p_partkey"],
+        "customer": ["c_custkey"],
+    }
+    for name, schema in S.TPCH_SCHEMAS.items():
+        sm.create_table(name, schema, clustered_on=clustering.get(name))
+        sm.load_table(name, tables[name])
+    if with_indexes:
+        sm.create_index(
+            "lineitem", ["l_orderkey"], name="l_orderkey_idx", clustered=True
+        )
+        sm.create_index(
+            "orders", ["o_orderkey"], name="o_orderkey_idx", clustered=True
+        )
+        sm.create_index(
+            "part", ["p_partkey"], name="p_partkey_idx", clustered=True
+        )
+        sm.create_index(
+            "customer", ["c_custkey"], name="c_custkey_idx", clustered=True
+        )
+    return tables

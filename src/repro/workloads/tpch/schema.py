@@ -1,0 +1,145 @@
+"""TPC-H table schemas, scaled-width edition.
+
+Column sets follow the TPC-H specification; declared byte widths are
+tuned so the row sizes (and therefore pages-per-table ratios) stay
+proportional to dbgen's output.  Dates are integer days since
+1970-01-01.  Two derived columns the specification computes with SQL
+expressions are materialised at generation time because the expression
+language has no EXTRACT:
+
+* ``o_year`` -- EXTRACT(year FROM o_orderdate), used by Q8's group-by.
+* ``o_prioclass`` -- 1 for '1-URGENT'/'2-HIGH' priorities else 0, the
+  CASE condition of Q12.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.relational.schema import Schema
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_int(year: int, month: int, day: int) -> int:
+    """A calendar date as days since 1970-01-01."""
+    return (datetime.date(year, month, day) - _EPOCH).days
+
+
+#: First and last order dates in dbgen.
+START_DATE = date_int(1992, 1, 1)
+END_DATE = date_int(1998, 8, 2)
+
+
+LINEITEM = Schema.of(
+    "l_orderkey:int",
+    "l_partkey:int",
+    "l_suppkey:int",
+    "l_linenumber:int",
+    "l_quantity:float",
+    "l_extendedprice:float",
+    "l_discount:float",
+    "l_tax:float",
+    "l_returnflag:str:1",
+    "l_linestatus:str:1",
+    "l_shipdate:date",
+    "l_commitdate:date",
+    "l_receiptdate:date",
+    "l_shipmode:str:10",
+    "l_comment:str:27",  # pads the row to ~120 declared bytes
+)
+
+ORDERS = Schema.of(
+    "o_orderkey:int",
+    "o_custkey:int",
+    "o_orderstatus:str:1",
+    "o_totalprice:float",
+    "o_orderdate:date",
+    "o_year:int",
+    "o_orderpriority:str:15",
+    "o_prioclass:int",
+    "o_comment:str:49",  # pads the row to ~100 declared bytes
+)
+
+PART = Schema.of(
+    "p_partkey:int",
+    "p_name:str:35",
+    "p_mfgr:str:14",
+    "p_brand:str:10",
+    "p_type:str:25",
+    "p_size:int",
+    "p_container:str:10",
+    "p_retailprice:float",
+)
+
+PARTSUPP = Schema.of(
+    "ps_partkey:int",
+    "ps_suppkey:int",
+    "ps_availqty:int",
+    "ps_supplycost:float",
+)
+
+CUSTOMER = Schema.of(
+    "c_custkey:int",
+    "c_name:str:18",
+    "c_nationkey:int",
+    "c_acctbal:float",
+    "c_mktsegment:str:10",
+)
+
+SUPPLIER = Schema.of(
+    "s_suppkey:int",
+    "s_name:str:18",
+    "s_nationkey:int",
+)
+
+NATION = Schema.of(
+    "n_nationkey:int",
+    "n_name:str:15",
+    "n_regionkey:int",
+)
+
+REGION = Schema.of(
+    "r_regionkey:int",
+    "r_name:str:12",
+)
+
+TPCH_SCHEMAS = {
+    "lineitem": LINEITEM,
+    "orders": ORDERS,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "customer": CUSTOMER,
+    "supplier": SUPPLIER,
+    "nation": NATION,
+    "region": REGION,
+}
+
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+PRIORITIES = (
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW",
+)
+SEGMENTS = (
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+)
+CONTAINERS = (
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+)
+TYPE_SYLL1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLL2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLL3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+#: nation index -> region index (dbgen's mapping).
+NATION_REGION = (
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2,
+    3, 3, 1,
+)

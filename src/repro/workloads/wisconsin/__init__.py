@@ -1,0 +1,17 @@
+"""The Wisconsin benchmark: BIG1, BIG2, SMALL and the 3-way join query."""
+
+from repro.workloads.wisconsin.gen import (
+    WISCONSIN_SCHEMA,
+    WisconsinScale,
+    generate_wisconsin,
+    load_wisconsin,
+)
+from repro.workloads.wisconsin.queries import three_way_join
+
+__all__ = [
+    "WISCONSIN_SCHEMA",
+    "WisconsinScale",
+    "generate_wisconsin",
+    "load_wisconsin",
+    "three_way_join",
+]

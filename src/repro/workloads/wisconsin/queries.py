@@ -1,0 +1,60 @@
+"""Wisconsin benchmark query plans.
+
+The Figure 10 experiment runs two similar **3-way sort-merge joins**
+(the benchmark's join query family, e.g. query #17): BIG1 joins BIG2 on
+``unique1`` after both are sorted, and the result joins SMALL.  The two
+submitted queries share the BIG1/BIG2 sort subtrees (identical
+predicates) but filter SMALL differently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.relational.expressions import AggSpec, Col, Expr
+from repro.relational.plans import (
+    Aggregate,
+    MergeJoin,
+    PlanNode,
+    Sort,
+    TableScan,
+)
+
+
+def three_way_join(
+    big_range: int = 1000,
+    small_predicate: Optional[Expr] = None,
+) -> PlanNode:
+    """The Figure 10 plan: A over M-J(M-J(S(BIG1), S(BIG2)), S(SMALL)).
+
+    Args:
+        big_range: both BIG tables keep ``unique1 < big_range`` (the
+            shared predicate; identical across the two queries).
+        small_predicate: the SMALL-side filter that *differs* between
+            the two submitted queries.
+    """
+    sorted_big1 = Sort(
+        TableScan("big1", predicate=Col("unique1") < big_range,
+                  alias="big1"),
+        keys=["big1.unique1"],
+    )
+    sorted_big2 = Sort(
+        TableScan("big2", predicate=Col("unique1") < big_range,
+                  alias="big2"),
+        keys=["big2.unique1"],
+    )
+    big_join = MergeJoin(
+        sorted_big1, sorted_big2, "big1.unique1", "big2.unique1"
+    )
+    sorted_small = Sort(
+        TableScan("small", predicate=small_predicate, alias="small"),
+        keys=["small.unique1"],
+    )
+    final = MergeJoin(big_join, sorted_small, "big1.unique1", "small.unique1")
+    return Aggregate(
+        final,
+        [
+            AggSpec("count", None, "n"),
+            AggSpec("sum", Col("small.unique2"), "s"),
+        ],
+    )

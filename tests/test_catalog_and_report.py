@@ -1,0 +1,134 @@
+"""Remaining unit coverage: catalog errors, report rendering, CLI."""
+
+import pytest
+
+from repro.harness.__main__ import main as harness_main
+from repro.harness.report import Series, render_breakdown
+from repro.hw.host import Host, HostConfig
+from repro.relational.schema import Schema
+from repro.storage.catalog import Catalog, TableInfo
+from repro.storage.file import BlockStore, HeapFile
+from repro.storage.manager import StorageManager
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+def make_info(name="t"):
+    store = BlockStore()
+    return TableInfo(
+        name=name,
+        schema=Schema.of("a:int"),
+        heap=HeapFile(store, name, rows_per_page=4),
+    )
+
+
+def test_catalog_add_and_lookup():
+    catalog = Catalog()
+    info = make_info()
+    catalog.add_table(info)
+    assert catalog.table("t") is info
+    assert catalog.table_schema("t").names == ["a"]
+    assert "t" in catalog and "x" not in catalog
+    assert catalog.tables() == ["t"]
+
+
+def test_catalog_duplicate_rejected():
+    catalog = Catalog()
+    catalog.add_table(make_info())
+    with pytest.raises(ValueError):
+        catalog.add_table(make_info())
+
+
+def test_catalog_missing_table_error_names_candidates():
+    catalog = Catalog()
+    catalog.add_table(make_info("orders"))
+    with pytest.raises(KeyError) as err:
+        catalog.table("order")
+    assert "orders" in str(err.value)
+
+
+def test_catalog_missing_index_error():
+    host = Host(HostConfig())
+    sm = StorageManager(host)
+    sm.create_table("t", Schema.of("a:int"))
+    with pytest.raises(KeyError):
+        sm.catalog.index("t", "nope")
+
+
+def test_catalog_drop_table():
+    catalog = Catalog()
+    catalog.add_table(make_info())
+    catalog.drop_table("t")
+    assert "t" not in catalog
+    catalog.drop_table("t")  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+def test_series_alignment_with_missing_points():
+    series = Series("T", "x", "y")
+    series.add_point("a", 1, 10)
+    series.add_point("b", 2, 20)  # 'b' skipped x=1
+    text = series.render()
+    assert "T" in text and "-" in text
+
+
+def test_series_curve_access():
+    series = Series("T", "x", "y")
+    series.add_point("a", 1, 10)
+    series.add_point("a", 2, 30)
+    assert series.curve("a") == [10, 30]
+    with pytest.raises(KeyError):
+        series.curve("zzz")
+
+
+def test_series_overwrites_same_x():
+    series = Series("T", "x", "y")
+    series.add_point("a", 1, 10)
+    series.add_point("a", 1, 99)
+    assert series.curve("a") == [99]
+
+
+def test_series_number_formatting():
+    series = Series("T", "x", "y")
+    series.add_point("a", 0, 1234.5)
+    series.add_point("a", 1, 0.123456)
+    series.add_point("a", 2, 0)
+    text = series.render()
+    assert "1,234" in text or "1,235" in text
+    assert "0.123" in text
+
+
+def test_render_breakdown_table():
+    text = render_breakdown(
+        "title", {"Q1": {"x": 0.5, "y": 0.25}}, ["x", "y", "z"]
+    )
+    assert "0.50" in text and "0.00" in text and "Q1" in text
+
+
+def test_series_notes_rendered():
+    series = Series("T", "x", "y", notes=["hello note"])
+    series.add_point("a", 1, 1)
+    assert "hello note" in series.render()
+
+
+# ---------------------------------------------------------------------------
+# Harness CLI
+# ---------------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert harness_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12" in out and "ablation-replay" in out
+
+
+def test_cli_unknown_figure():
+    with pytest.raises(SystemExit):
+        harness_main(["nope"])
+
+
+def test_cli_runs_one_figure(capsys):
+    assert harness_main(["overhead", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "ratio" in out

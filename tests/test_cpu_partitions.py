@@ -1,0 +1,81 @@
+"""Two-level scheduling: per-micro-engine CPU partitions (section 4.2).
+
+"At the higher level, the scheduler chooses which micro-engine runs next
+and on which CPU(s)" -- with partitions configured, each micro-engine's
+CPU bursts queue on its own cores instead of the shared pool.
+"""
+
+import pytest
+
+from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.hw.host import Host, HostConfig
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import Aggregate, Sort, TableScan
+from repro.storage.manager import StorageManager
+
+import tests.conftest as cf
+
+
+def build_engine(cpu_partitions=None, cpu_per_tuple=1e-5):
+    host = Host(HostConfig(cpu_per_tuple=cpu_per_tuple))
+    sm = StorageManager(host, buffer_pages=64)
+    sm.create_table("r", cf.R_SCHEMA)
+    sm.load_table("r", cf.make_r_rows(n=300))
+    engine = QPipeEngine(
+        sm, QPipeConfig(cpu_partitions=cpu_partitions, osp_enabled=False)
+    )
+    return host, sm, engine
+
+
+def test_partitions_created_per_config():
+    host, sm, engine = build_engine({"sort": 2, "agg": 1})
+    assert engine.engines["sort"].cpu is not None
+    assert engine.engines["sort"].cpu.cores == 2
+    assert engine.engines["agg"].cpu.cores == 1
+    assert engine.engines["fscan"].cpu is None  # unlisted: shared pool
+
+
+def test_partitioned_engine_charges_its_own_cpu():
+    host, sm, engine = build_engine({"agg": 1}, cpu_per_tuple=1e-3)
+    plan = Aggregate(TableScan("r"), [AggSpec("sum", Col("val"), "s")])
+    rows = engine.run_query(plan)
+    assert rows[0][0] == pytest.approx(
+        sum(r[2] for r in sm.catalog.table("r").heap.all_rows())
+    )
+    agg_cpu = engine.engines["agg"].cpu
+    assert agg_cpu.total_burst_time > 0
+    # The shared pool carried the scan's bursts, not the aggregate's.
+    assert host.cpu.total_burst_time > 0
+
+
+def test_results_identical_with_and_without_partitions():
+    plan = Sort(
+        TableScan("r", predicate=Col("grp") <= 3), keys=["val"]
+    )
+    _h1, _sm1, shared = build_engine(None)
+    _h2, _sm2, partitioned = build_engine(
+        {"sort": 1, "fscan": 2, "agg": 1}
+    )
+    assert shared.run_query(plan) == partitioned.run_query(plan)
+
+
+def test_single_core_partition_serialises_within_engine():
+    """Two sorts on a 1-core sort partition cannot burn CPU in parallel."""
+    host, sm, engine = build_engine({"sort": 1}, cpu_per_tuple=2e-3)
+    plan_a = Sort(TableScan("r"), keys=["val"])
+    plan_b = Sort(TableScan("r"), keys=["id"])
+    procs = [
+        host.sim.spawn(engine.execute(plan_a)),
+        host.sim.spawn(engine.execute(plan_b)),
+    ]
+    host.sim.run_until_done(procs)
+    serialised = max(p.value.finished_at for p in procs)
+
+    host2, sm2, engine2 = build_engine({"sort": 2}, cpu_per_tuple=2e-3)
+    procs2 = [
+        host2.sim.spawn(engine2.execute(plan_a)),
+        host2.sim.spawn(engine2.execute(plan_b)),
+    ]
+    host2.sim.run_until_done(procs2)
+    parallel = max(p.value.finished_at for p in procs2)
+    assert parallel < serialised

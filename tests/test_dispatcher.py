@@ -1,0 +1,149 @@
+"""Unit tests for the packet dispatcher: wiring, routing, OSP metadata."""
+
+import pytest
+
+from repro.engine.packets import PacketState
+from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import (
+    Aggregate,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    Sort,
+    TableScan,
+)
+
+
+def make_engine(db):
+    _host, sm, _r, _s = db
+    return QPipeEngine(sm, QPipeConfig())
+
+
+def build(engine, plan):
+    from repro.engine.packets import QueryContext
+
+    query = QueryContext(
+        query_id=99, plan=plan, sm=engine.sm, host_machine=engine.host
+    )
+    return engine.dispatcher.build_subtree(
+        query, plan, parent=None, parent_order_insensitive=True
+    )
+
+
+def test_one_packet_per_plan_node(db):
+    engine = make_engine(db)
+    plan = Aggregate(
+        HashJoin(TableScan("r"), TableScan("s"), "id", "rid"),
+        [AggSpec("count", None, "n")],
+    )
+    root = build(engine, plan)
+    packets = [root] + root.descendants()
+    assert len(packets) == 4  # agg, join, two scans
+    assert root.engine_name == "agg"
+    assert {p.engine_name for p in packets} == {"agg", "hashjoin", "fscan"}
+
+
+def test_parent_child_buffer_wiring(db):
+    engine = make_engine(db)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    root = build(engine, plan)
+    child = root.children[0]
+    assert root.inputs[0] is child.primary_output
+    assert child.primary_output.producer is child
+    assert child.primary_output.consumer is root
+
+
+def test_signatures_match_plan_subtrees(db):
+    engine = make_engine(db)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    root = build(engine, plan)
+    assert root.signature == plan.signature(engine.sm.catalog)
+    assert root.children[0].signature == plan.child.signature(
+        engine.sm.catalog
+    )
+
+
+def test_order_insensitive_parent_flags(db):
+    engine = make_engine(db)
+    plan = Sort(
+        HashJoin(TableScan("r"), TableScan("s"), "id", "rid"),
+        keys=["val"],
+    )
+    root = build(engine, plan)
+    join = root.children[0]
+    scan = join.children[0]
+    assert root.order_insensitive_parent  # dispatch root
+    assert join.order_insensitive_parent  # Sort accepts any order
+    assert scan.order_insensitive_parent  # HashJoin accepts any order
+
+
+def test_mergejoin_children_are_order_sensitive(db):
+    engine = make_engine(db)
+    plan = MergeJoin(
+        IndexScan("r", "r_id", ordered=True),
+        IndexScan("r", "r_id", ordered=True),
+        "id",
+        "id",
+    )
+    root = build(engine, plan)
+    for child in root.children:
+        assert not child.order_insensitive_parent
+
+
+def test_mj_split_eligibility_marked(db):
+    """Ordered index scans under a merge-join with an order-insensitive
+    parent carry the 4.3.2 split artifact (with a sibling cost bound)."""
+    engine = make_engine(db)
+    plan = Aggregate(
+        MergeJoin(
+            IndexScan("r", "r_id", ordered=True),
+            IndexScan("r", "r_id", ordered=True),
+            "id",
+            "id",
+        ),
+        [AggSpec("count", None, "n")],
+    )
+    root = build(engine, plan)
+    join = root.children[0]
+    for child in join.children:
+        split = child.artifacts["mj_split"]
+        assert split["mergejoin"] is join
+        assert split["other_pages"] == engine.sm.num_pages("r")
+
+
+def test_no_split_marker_when_parent_needs_order(db):
+    engine = make_engine(db)
+    inner = MergeJoin(
+        IndexScan("r", "r_id", ordered=True),
+        IndexScan("r", "r_id", ordered=True),
+        "id",
+        "id",
+    )
+    outer = MergeJoin(inner, IndexScan("r", "r_id", ordered=True), "id", "id")
+    root = build(engine, outer)
+    inner_packet = root.children[0]
+    for child in inner_packet.children:
+        assert "mj_split" not in child.artifacts
+
+
+def test_enqueue_tree_skips_cancelled_subtrees(db):
+    engine = make_engine(db)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    root = build(engine, plan)
+    root.cancel_subtree()
+    engine.dispatcher.enqueue_tree(root)
+    # The root itself was CREATED so it queues; the cancelled child must
+    # not be queued.
+    assert root.state is PacketState.QUEUED
+    assert root.children[0].state is PacketState.CANCELLED
+    assert root.children[0] not in engine.engines["fscan"].active
+
+
+def test_dispatch_returns_root_buffer(db):
+    _host, sm, r_rows, _s = db
+    engine = make_engine(db)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    rows = engine.run_query(plan)
+    assert rows == [(len(r_rows),)]

@@ -1,0 +1,157 @@
+"""Unit tests for the MicroEngine base: workers, queueing, OSP hooks."""
+
+import pytest
+
+from repro.engine.buffers import FanOut, TupleBuffer
+from repro.engine.micro_engine import MicroEngine
+from repro.engine.packets import Packet, PacketState, QueryContext
+from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import Aggregate, TableScan
+
+
+def make_engine(db, **kwargs):
+    _h, sm, _r, _s = db
+    return QPipeEngine(sm, QPipeConfig(**kwargs))
+
+
+def make_packet(engine, plan=None, query_id=1):
+    plan = plan or TableScan("r")
+    query = QueryContext(
+        query_id=query_id, plan=plan, sm=engine.sm,
+        host_machine=engine.host,
+    )
+    return engine.dispatcher.build_subtree(
+        query, plan, parent=None, parent_order_insensitive=True
+    )
+
+
+def test_workers_spawned_at_construction(db):
+    engine = make_engine(db, workers=3)
+    assert len(engine.engines["sort"]._worker_procs) == 3
+    assert len(engine.engines["fscan"]._worker_procs) == 12  # 4x scans
+
+
+def test_cancelled_packet_skipped_by_workers(db):
+    engine = make_engine(db)
+    packet = make_packet(engine)
+    packet.state = PacketState.CANCELLED
+    engine.engines["fscan"].enqueue(packet)
+    engine.sim.run(until=1.0)
+    assert packet.state is PacketState.CANCELLED
+    assert engine.engines["fscan"].packets_served == 0
+
+
+def test_packet_marked_done_after_serve(db):
+    _h, sm, r_rows, _s = db
+    engine = make_engine(db)
+    packet = make_packet(engine)
+    engine.engines["fscan"].enqueue(packet)
+    rows = []
+
+    def reader():
+        got = yield from packet.primary_output.drain()
+        rows.extend(got)
+
+    engine.sim.spawn(reader())
+    engine.sim.run()
+    assert packet.state is PacketState.DONE
+    assert sorted(rows) == sorted(r_rows)
+    assert packet not in engine.engines["fscan"].active
+
+
+def test_queue_overflow_waits_for_free_worker(db):
+    """More packets than workers: the extras queue and run later."""
+    _h, sm, r_rows, _s = db
+    engine = make_engine(db, workers=1, osp_enabled=False)
+    micro = engine.engines["fscan"]
+    # fscan gets 4x workers; saturate all of them with held packets.
+    packets = [make_packet(engine, query_id=i) for i in range(6)]
+    for packet in packets:
+        micro.enqueue(packet)
+    readers = [
+        engine.sim.spawn(p.primary_output.drain()) for p in packets
+    ]
+    engine.sim.run_until_done(readers)
+    assert all(p.state is PacketState.DONE for p in packets)
+    assert micro.packets_served == 6
+
+
+def test_generic_attach_requires_same_signature(db):
+    engine = make_engine(db)
+    agg_a = make_packet(
+        engine,
+        Aggregate(TableScan("r"), [AggSpec("count", None, "n")]),
+        query_id=1,
+    )
+    agg_b = make_packet(
+        engine,
+        Aggregate(TableScan("r"), [AggSpec("sum", Col("val"), "s")]),
+        query_id=2,
+    )
+    micro = engine.engines["agg"]
+    micro.active.append(agg_a)
+    agg_a.state = PacketState.RUNNING
+    assert micro.find_host(agg_b) is None  # different aggregates
+
+
+def test_generic_attach_rejects_same_query(db):
+    engine = make_engine(db)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    first = make_packet(engine, plan, query_id=7)
+    second = make_packet(engine, plan, query_id=7)
+    second.query = first.query  # same query object
+    micro = engine.engines["agg"]
+    micro.active.append(first)
+    first.state = PacketState.RUNNING
+    assert micro.find_host(second) is None
+
+
+def test_can_attach_respects_replay_window(db):
+    engine = make_engine(db, replay_tuples=4)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    host_packet = make_packet(engine, plan, query_id=1)
+    newcomer = make_packet(engine, plan, query_id=2)
+    host_packet.state = PacketState.RUNNING
+    micro = engine.engines["agg"]
+    assert micro.can_attach(host_packet, newcomer)  # nothing emitted
+
+    def producer():
+        yield from host_packet.output.put([(1,)] * 8)  # exceeds the ring
+
+    def consumer():
+        yield from host_packet.primary_output.drain()
+
+    engine.sim.spawn(producer())
+    engine.sim.spawn(consumer())
+    engine.sim.run(until=1)
+    assert not micro.can_attach(host_packet, newcomer)
+
+
+def test_cancel_subtree_interrupts_running_worker(db):
+    _h, sm, _r, _s = db
+    engine = make_engine(db, osp_enabled=False)
+    root = make_packet(
+        engine, Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    )
+    engine.dispatcher.enqueue_tree(root)
+    engine.sim.run(until=0.01)  # let the scan start
+    child = root.children[0]
+    assert child.state is PacketState.RUNNING
+    root.cancel_subtree()
+    engine.sim.run(until=0.02)
+    assert child.state is PacketState.CANCELLED
+    assert child.output.closed
+
+
+def test_release_inputs_cancels_orphan_children(db):
+    """A parent finishing early cancels children nobody else needs."""
+    _h, sm, r_rows, _s = db
+    from repro.relational.plans import Limit
+
+    engine = make_engine(db, osp_enabled=False)
+    plan = Limit(TableScan("r"), count=3)
+    rows = engine.run_query(plan)
+    assert len(rows) == 3
+    # The scan child must not be left running or queued.
+    assert engine.engines["fscan"].active == []

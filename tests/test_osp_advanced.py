@@ -1,0 +1,144 @@
+"""Advanced OSP scenarios: satellite fleets, group-by windows, spills."""
+
+import pytest
+
+from repro.engine.packets import PacketState
+from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import Aggregate, GroupBy, Sort, TableScan
+
+
+def run_staggered(big_db, engine, plans, delays):
+    host, _sm, _r, _s = big_db
+    procs = []
+
+    def client(plan, delay):
+        yield host.sim.timeout(delay)
+        result = yield from engine.execute(plan)
+        return result
+
+    for plan, delay in zip(plans, delays):
+        procs.append(host.sim.spawn(client(plan, delay)))
+    host.sim.run_until_done(procs)
+    return [p.value for p in procs]
+
+
+def agg_plan():
+    return Aggregate(TableScan("r"), [AggSpec("sum", Col("val"), "sv")])
+
+
+def test_many_satellites_one_host(big_db):
+    """Five identical aggregates: one host, four satellites, one answer."""
+    host, sm, r_rows, _s = big_db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+    results = run_staggered(
+        big_db, engine, [agg_plan() for _ in range(5)],
+        delays=[0.0, 0.01, 0.02, 0.03, 0.04],
+    )
+    expected = pytest.approx(sum(r[2] for r in r_rows))
+    for result in results:
+        assert result.rows[0][0] == expected
+    assert engine.osp_stats.attaches["agg"] == 4
+    # All five finish within a whisker of each other.
+    finishes = [r.finished_at for r in results]
+    assert max(finishes) - min(finishes) < 0.5
+
+
+def test_satellite_fleet_costs_one_scan(big_db):
+    host, sm, _r, _s = big_db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+    run_staggered(
+        big_db, engine, [agg_plan() for _ in range(4)],
+        delays=[0.0, 0.05, 0.1, 0.15],
+    )
+    assert host.disk.stats.blocks_read <= sm.num_pages("r") + 2
+
+
+def test_groupby_window_open_until_emission(big_db):
+    """GroupBy is blocking: it admits satellites through its whole
+    consumption phase (no output until input is drained)."""
+    host, sm, r_rows, _s = big_db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+
+    def plan():
+        return GroupBy(
+            TableScan("r"), ["grp"], [AggSpec("count", None, "n")]
+        )
+
+    # Arrive well into the host's consumption phase.
+    results = run_staggered(
+        big_db, engine, [plan(), plan()], delays=[0.0, 0.3]
+    )
+    expected = {}
+    for r in r_rows:
+        expected[r[1]] = expected.get(r[1], 0) + 1
+    assert dict(results[0].rows) == expected
+    assert dict(results[1].rows) == expected
+    assert engine.osp_stats.attaches["groupby"] == 1
+
+
+def test_sort_reemission_with_spilled_runs(big_db):
+    """A satellite arriving during emission of an EXTERNAL sort still
+    gets the full materialised result."""
+    host, sm, r_rows, _s = big_db
+    engine = QPipeEngine(
+        sm,
+        QPipeConfig(
+            osp_enabled=True,
+            work_mem_tuples=500,  # force run spills (4000 rows)
+            buffer_tuples=128,  # slow emission
+            replay_tuples=32,
+        ),
+    )
+    expected = sorted(r_rows, key=lambda r: (r[2],))
+
+    def plan():
+        return Sort(TableScan("r"), keys=["val"])
+
+    # Measure the host's sort-finish point first.
+    probe_engine = QPipeEngine(sm, QPipeConfig(work_mem_tuples=500))
+    solo = run_staggered(big_db, probe_engine, [plan()], [0.0])[0]
+    late = solo.response_time * 0.9
+
+    results = run_staggered(big_db, engine, [plan(), plan()], [0.0, late])
+    assert results[0].rows == expected
+    assert results[1].rows == expected
+    assert host.disk.stats.blocks_written > 0  # spills really happened
+
+
+def test_satellite_marked_done_with_host(big_db):
+    host, sm, _r, _s = big_db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+    run_staggered(big_db, engine, [agg_plan(), agg_plan()], [0.0, 0.1])
+    agg_engine = engine.engines["agg"]
+    assert agg_engine.active == []
+    # One packet served, one shared.
+    assert agg_engine.packets_served == 1
+    assert agg_engine.packets_shared == 1
+
+
+def test_chained_arrivals_attach_to_original_host(big_db):
+    """Late arrivals attach to the still-active host, not to satellites."""
+    host, sm, _r, _s = big_db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+    results = run_staggered(
+        big_db, engine,
+        [agg_plan(), agg_plan(), agg_plan()],
+        delays=[0.0, 0.2, 0.4],
+    )
+    served = engine.engines["agg"].packets_served
+    shared = engine.engines["agg"].packets_shared
+    assert (served, shared) == (1, 2)
+    assert len({tuple(r.rows[0]) for r in results}) == 1
+
+
+def test_no_attach_across_different_tables(big_db):
+    host, sm, _r, _s = big_db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+    plans = [
+        Aggregate(TableScan("r"), [AggSpec("count", None, "n")]),
+        Aggregate(TableScan("s"), [AggSpec("count", None, "n")]),
+    ]
+    results = run_staggered(big_db, engine, plans, [0.0, 0.0])
+    assert engine.osp_stats.attaches["agg"] == 0
+    assert results[0].rows != results[1].rows

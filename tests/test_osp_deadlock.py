@@ -1,0 +1,153 @@
+"""Pipeline-deadlock detection and resolution (section 4.3.3).
+
+The crossed-dependency scenario of section 3.3 is built directly from
+buffers: producer and consumer wait on each other through two buffers,
+and the detector must materialise one of them to break the loop.
+"""
+
+import pytest
+
+from repro.engine.buffers import TupleBuffer
+from repro.osp.deadlock import DeadlockDetector
+from repro.osp.stats import OspStats
+from repro.sim import Simulator
+
+
+class StubEngine:
+    """Just enough engine surface for the detector."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.osp_stats = OspStats()
+        self._buffers = []
+        self.active_queries = 1
+
+    def register_buffer(self, buf):
+        self._buffers.append(buf)
+
+    def live_buffers(self):
+        return [b for b in self._buffers if not b.closed]
+
+
+def make_stub():
+    sim = Simulator()
+    return sim, StubEngine(sim)
+
+
+def test_no_cycle_no_action():
+    sim, engine = make_stub()
+    buf = TupleBuffer(sim, capacity_tuples=4, producer="P", consumer="C")
+    engine.register_buffer(buf)
+    detector = DeadlockDetector(engine)
+    assert detector.check_once() is None
+    assert engine.osp_stats.deadlocks_resolved == 0
+
+
+def test_crossed_waits_resolve_by_materialisation():
+    """X blocked putting to b1 (full), Y blocked getting from b2 (empty)
+    where X is also b2's producer -> cycle X->Y->X."""
+    sim, engine = make_stub()
+    b1 = TupleBuffer(sim, 2, name="b1", producer="X", consumer="Y")
+    b2 = TupleBuffer(sim, 2, name="b2", producer="X", consumer="Y")
+    engine.register_buffer(b1)
+    engine.register_buffer(b2)
+    done = []
+
+    def x():
+        # Fill b1 beyond capacity, blocking; only then feed b2.
+        yield from b1.put([(1,), (2,)])
+        yield from b1.put([(3,)])  # blocks: b1 full, Y not reading yet
+        yield from b2.put([(9,)])
+        done.append(("x", sim.now))
+
+    def y():
+        # Needs b2 first -- the crossed order.
+        batch = yield from b2.get()
+        done.append(("y-got-b2", batch))
+        while True:
+            batch = yield from b1.get()
+            if batch is None:
+                break
+        done.append(("y", sim.now))
+
+    px = sim.spawn(x())
+    py = sim.spawn(y())
+    detector = DeadlockDetector(engine)
+    engine_detector_ran = []
+
+    def run_detector():
+        yield sim.timeout(1.0)
+        engine_detector_ran.append(detector.check_once())
+        b1.close()  # let Y terminate after X finished
+
+    sim.spawn(run_detector())
+    sim.run()
+    # The detector found and resolved the cycle...
+    assert engine_detector_ran[0] is not None
+    assert engine.osp_stats.deadlocks_resolved == 1
+    # ...and both processes completed.
+    assert ("x", 1.0) in done
+    assert any(tag == "y" for tag, _ in done)
+
+
+def test_victim_is_cheapest_buffer():
+    """Among cycle candidates the least-full buffer is materialised."""
+    sim, engine = make_stub()
+    # Two full buffers on the cycle with different levels.
+    big = TupleBuffer(sim, 10, name="big", producer="X", consumer="Y")
+    small = TupleBuffer(sim, 2, name="small", producer="Y", consumer="X")
+    engine.register_buffer(big)
+    engine.register_buffer(small)
+
+    def x():
+        yield from big.put([(i,) for i in range(10)])
+        yield from big.put([(99,)])  # blocks
+
+    def y():
+        yield from small.put([(1,), (2,)])
+        yield from small.put([(3,)])  # blocks
+
+    def x_reader():
+        # X also waits on small being... actually both are blocked
+        # producers; complete the cycle via consumer edges by never
+        # reading.  The graph is X -> Y (big full) and Y -> X (small
+        # full): a two-node cycle of producers.
+        return
+        yield
+
+    sim.spawn(x())
+    sim.spawn(y())
+    detector = DeadlockDetector(engine)
+
+    def run_detector():
+        yield sim.timeout(1.0)
+        detector.check_once()
+
+    sim.spawn(run_detector())
+    sim.run()
+    assert detector.resolved and detector.resolved[0] is small
+
+
+def test_detector_parks_when_idle():
+    sim, engine = make_stub()
+    engine.active_queries = 0
+    detector = DeadlockDetector(engine)
+    detector.ensure_running()
+    sim.run()
+    assert sim.now < 1.0  # the loop exited without periodic wakeups
+
+
+def test_materialised_buffer_accepts_unbounded_puts():
+    sim, engine = make_stub()
+    buf = TupleBuffer(sim, 2, producer="P", consumer="C")
+    buf.materialize()
+    times = []
+
+    def producer():
+        for i in range(100):
+            yield from buf.put([(i,)])
+        times.append(sim.now)
+
+    sim.spawn(producer())
+    sim.run()
+    assert times == [0.0]

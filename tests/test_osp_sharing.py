@@ -1,0 +1,279 @@
+"""OSP behaviour tests: do overlapping queries actually share work?
+
+These exercise the mechanisms of sections 4.3.1-4.3.4 directly:
+circular scans, generic attach (full/step + buffering), sort
+re-emission, hash-join build sharing, and the I/O savings they cause.
+All use the multi-page ``big_db`` fixture so queries run long enough to
+overlap at staggered arrivals.
+"""
+
+import pytest
+
+from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import (
+    Aggregate,
+    HashJoin,
+    Sort,
+    TableScan,
+)
+
+
+def make_engine(big_db, osp=True, **kwargs):
+    _host, sm, _r, _s = big_db
+    return QPipeEngine(sm, QPipeConfig(osp_enabled=osp, **kwargs))
+
+
+def run_concurrent(big_db, engine, plans, interarrival=0.0):
+    """Submit plans staggered by *interarrival*; returns QueryResults."""
+    host, _sm, _r, _s = big_db
+    procs = []
+
+    def client(plan, delay):
+        yield host.sim.timeout(delay)
+        result = yield from engine.execute(plan)
+        return result
+
+    for i, plan in enumerate(plans):
+        procs.append(
+            host.sim.spawn(client(plan, i * interarrival), name=f"client{i}")
+        )
+    host.sim.run_until_done(procs)
+    return [p.value for p in procs]
+
+
+def scan_seconds(big_db) -> float:
+    host, sm, _r, _s = big_db
+    return sm.num_pages("r") * host.config.disk_transfer_time
+
+
+# ---------------------------------------------------------------------------
+# Circular scans (section 4.3.1)
+# ---------------------------------------------------------------------------
+def test_concurrent_scans_share_disk_reads(big_db):
+    host, sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    n_pages = sm.num_pages("r")
+    plans = [TableScan("r", predicate=Col("grp") == g) for g in range(4)]
+    results = run_concurrent(big_db, engine, plans, interarrival=0.0)
+    for g, result in enumerate(results):
+        assert sorted(result.rows) == sorted(
+            r for r in r_rows if r[1] == g
+        )
+    # One shared pass (plus possibly a page or two of skew), not four.
+    assert host.disk.stats.blocks_read <= n_pages + 2
+    assert engine.osp_stats.attaches["fscan-circular"] == 3
+
+
+def test_late_scan_wraps_around(big_db):
+    """A scan arriving mid-pass attaches and still sees every row once."""
+    host, sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    n_pages = sm.num_pages("r")
+    plans = [TableScan("r"), TableScan("r")]
+    results = run_concurrent(
+        big_db, engine, plans, interarrival=scan_seconds(big_db) / 2
+    )
+    for result in results:
+        assert sorted(result.rows) == sorted(r_rows)
+        assert len(result.rows) == len(r_rows)
+    # Shared reads: strictly less than two full passes.
+    assert host.disk.stats.blocks_read < 2 * n_pages
+
+
+def test_scan_consumer_counts_pages_exactly_once(big_db):
+    """Three staggered scans each receive every row exactly once."""
+    host, _sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    plans = [TableScan("r") for _ in range(3)]
+    results = run_concurrent(
+        big_db, engine, plans, interarrival=scan_seconds(big_db) / 3
+    )
+    for result in results:
+        assert len(result.rows) == len(r_rows)
+        assert sorted(result.rows) == sorted(r_rows)
+
+
+def test_no_sharing_when_osp_disabled(big_db):
+    host, sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=False)
+    n_pages = sm.num_pages("r")
+    plans = [TableScan("r") for _ in range(2)]
+    results = run_concurrent(
+        big_db, engine, plans, interarrival=scan_seconds(big_db) * 2
+    )
+    for result in results:
+        assert sorted(result.rows) == sorted(r_rows)
+    assert engine.osp_stats.total_attaches == 0
+    # Pool (64 pages) < table: the second scan re-reads everything.
+    assert host.disk.stats.blocks_read == 2 * n_pages
+
+
+# ---------------------------------------------------------------------------
+# Generic attach: single aggregates (full overlap)
+# ---------------------------------------------------------------------------
+def agg_plan():
+    return Aggregate(TableScan("r"), [AggSpec("sum", Col("val"), "sv")])
+
+
+def test_identical_aggregates_attach(big_db):
+    host, sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    results = run_concurrent(
+        big_db, engine, [agg_plan(), agg_plan()],
+        interarrival=scan_seconds(big_db) / 2,
+    )
+    expected = pytest.approx(sum(r[2] for r in r_rows))
+    assert results[0].rows[0][0] == expected
+    assert results[1].rows[0][0] == expected
+    assert engine.osp_stats.attaches["agg"] == 1
+
+
+def test_attached_aggregate_finishes_with_host(big_db):
+    host, _sm, _r, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    results = run_concurrent(
+        big_db, engine, [agg_plan(), agg_plan()],
+        interarrival=scan_seconds(big_db) / 2,
+    )
+    # The satellite ends when the host pipeline ends: near-simultaneous.
+    assert abs(results[0].finished_at - results[1].finished_at) < 0.1
+
+
+def test_aggregate_window_spans_whole_lifetime(big_db):
+    """Full overlap: an aggregate admits satellites any time before done."""
+    host, _sm, _r, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    results = run_concurrent(
+        big_db, engine, [agg_plan(), agg_plan()],
+        interarrival=scan_seconds(big_db) * 0.9,  # very late arrival
+    )
+    assert engine.osp_stats.attaches["agg"] == 1
+    assert results[0].rows == results[1].rows
+
+
+# ---------------------------------------------------------------------------
+# Sort sharing: full during sort, materialised re-emit afterwards
+# ---------------------------------------------------------------------------
+def sort_plan():
+    return Sort(TableScan("r"), keys=["val"])
+
+
+def test_identical_sorts_share(big_db):
+    host, _sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    results = run_concurrent(
+        big_db, engine, [sort_plan(), sort_plan()],
+        interarrival=scan_seconds(big_db) / 2,
+    )
+    expected = sorted(r_rows, key=lambda r: (r[2],))
+    assert results[0].rows == expected
+    assert results[1].rows == expected
+    assert engine.osp_stats.attaches["sort"] >= 1
+
+
+def test_sorts_produce_correct_rows_at_any_overlap(big_db):
+    host, _sm, r_rows, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    expected = sorted(r_rows, key=lambda r: (r[2],))
+    results = run_concurrent(
+        big_db, engine, [sort_plan() for _ in range(3)],
+        interarrival=scan_seconds(big_db) / 3,
+    )
+    for result in results:
+        assert result.rows == expected
+
+
+def test_sort_reemission_after_emit_started(big_db):
+    """A satellite arriving in the emit phase replays the materialised
+    result (the Figure 4b materialisation enhancement)."""
+    host, sm, r_rows, _s = big_db
+    # Tiny buffers so emission takes a while and the replay ring drops.
+    engine = make_engine(big_db, osp=True, buffer_tuples=64,
+                         replay_tuples=64)
+    expected = sorted(r_rows, key=lambda r: (r[2],))
+
+    procs = []
+
+    def slow_client(delay):
+        yield host.sim.timeout(delay)
+        # Read the root buffer slowly to stretch the emit phase.
+        query_result = yield from engine.execute(sort_plan())
+        return query_result
+
+    procs.append(host.sim.spawn(slow_client(0)))
+    # Arrive well into emission: after the sort finished (scan done) but
+    # before the host query completes.
+    procs.append(host.sim.spawn(slow_client(scan_seconds(big_db) * 0.98)))
+    host.sim.run_until_done(procs)
+    for proc in procs:
+        assert proc.value.rows == expected
+
+
+# ---------------------------------------------------------------------------
+# Hash-join build sharing (full overlap during build)
+# ---------------------------------------------------------------------------
+def hj_plan():
+    return HashJoin(TableScan("s"), TableScan("r"), "rid", "id")
+
+
+def test_identical_hash_joins_attach_during_build(big_db):
+    host, _sm, r_rows, s_rows = big_db
+    engine = make_engine(big_db, osp=True)
+    results = run_concurrent(
+        big_db, engine, [hj_plan(), hj_plan()], interarrival=0.05
+    )
+    expected = sorted(
+        s + r for s in s_rows for r in r_rows if r[0] == s[1]
+    )
+    assert sorted(results[0].rows) == expected
+    assert sorted(results[1].rows) == expected
+    assert engine.osp_stats.attaches["hashjoin"] == 1
+
+
+def test_disjoint_queries_never_attach(big_db):
+    host, _sm, _r, _s = big_db
+    engine = make_engine(big_db, osp=True)
+    plans = [
+        Aggregate(TableScan("r", predicate=Col("grp") == 0),
+                  [AggSpec("count", None, "n")]),
+        Aggregate(TableScan("r", predicate=Col("grp") == 1),
+                  [AggSpec("sum", Col("val"), "sv")]),
+    ]
+    results = run_concurrent(big_db, engine, plans, interarrival=0.0)
+    assert results[0].rows[0][0] > 0
+    # Scans still share pages (circular), but no operator-level attach.
+    assert engine.osp_stats.attaches["agg"] == 0
+    assert engine.osp_stats.attaches["fscan-circular"] == 1
+
+
+# ---------------------------------------------------------------------------
+# OSP savings are visible in time, not just I/O counters
+# ---------------------------------------------------------------------------
+def test_osp_reduces_makespan_for_identical_queries():
+    import tests.conftest as cf
+    from repro.hw.host import Host, HostConfig
+    from repro.storage.manager import StorageManager
+
+    def run_with(osp):
+        host = Host(HostConfig())
+        sm = StorageManager(host, buffer_pages=16, policy="lru")
+        sm.create_table("r", cf.BIG_R_SCHEMA)
+        sm.load_table("r", cf.make_big_r_rows())
+        engine = QPipeEngine(sm, QPipeConfig(osp_enabled=osp))
+        procs = []
+        scan_time = sm.num_pages("r") * host.config.disk_transfer_time
+
+        def client(delay):
+            yield host.sim.timeout(delay)
+            result = yield from engine.execute(
+                Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+            )
+            return result
+
+        for i in range(4):
+            procs.append(host.sim.spawn(client(i * scan_time / 2)))
+        host.sim.run_until_done(procs)
+        return max(p.value.finished_at for p in procs)
+
+    assert run_with(True) < run_with(False)

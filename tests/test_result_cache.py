@@ -1,0 +1,126 @@
+"""Query result cache tests (section 2.3)."""
+
+import pytest
+
+from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.engine.result_cache import ResultCache
+from repro.relational.expressions import AggSpec, Col
+from repro.relational.plans import Aggregate, InsertRows, TableScan
+
+
+def make_engine(db, rows=10_000):
+    _h, sm, _r, _s = db
+    return QPipeEngine(
+        sm, QPipeConfig(osp_enabled=True, result_cache_rows=rows)
+    )
+
+
+def agg_plan():
+    return Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+
+
+# ---------------------------------------------------------------------------
+# Unit level
+# ---------------------------------------------------------------------------
+def test_cache_disabled_at_zero_capacity():
+    cache = ResultCache(0)
+    cache.store("sig", TableScan("r"), [(1,)])
+    assert cache.lookup("sig") is None
+    assert not cache.enabled
+
+
+def test_cache_roundtrip_and_lru_eviction():
+    cache = ResultCache(capacity_rows=5)
+    cache.store("a", TableScan("r"), [(1,), (2,)])
+    cache.store("b", TableScan("r"), [(3,), (4,)])
+    assert cache.lookup("a") == [(1,), (2,)]
+    # 'b' is now least-recent; adding 3 rows evicts it.
+    cache.store("c", TableScan("r"), [(5,), (6,), (7,)])
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+    assert cache.stats.evictions == 1
+
+
+def test_oversized_results_not_cached():
+    cache = ResultCache(capacity_rows=2)
+    cache.store("big", TableScan("r"), [(i,) for i in range(5)])
+    assert cache.lookup("big") is None
+
+
+def test_invalidation_by_table():
+    from repro.relational.plans import HashJoin
+
+    cache = ResultCache(capacity_rows=100)
+    join = HashJoin(TableScan("r"), TableScan("s"), "id", "rid")
+    cache.store("j", join, [(1,)])
+    cache.store("solo", TableScan("s"), [(2,)])
+    cache.store("other", TableScan("t"), [(3,)])
+    assert cache.invalidate_table("s") == 2
+    assert cache.lookup("j") is None
+    assert cache.lookup("other") is not None
+
+
+def test_cached_rows_are_copies():
+    cache = ResultCache(capacity_rows=10)
+    cache.store("a", TableScan("r"), [(1,)])
+    got = cache.lookup("a")
+    got.append(("mutant",))
+    assert cache.lookup("a") == [(1,)]
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(-1)
+
+
+# ---------------------------------------------------------------------------
+# Engine level
+# ---------------------------------------------------------------------------
+def test_sequential_repeat_hits_cache(db):
+    host, sm, r_rows, _s = db
+    engine = make_engine(db)
+    first = engine.run_query(agg_plan())
+    blocks_after_first = host.disk.stats.blocks_read
+    t_before = host.sim.now
+    second = engine.run_query(agg_plan())
+    assert second == first == [(len(r_rows),)]
+    # The repeat did no I/O and took no time.
+    assert host.disk.stats.blocks_read == blocks_after_first
+    assert engine.result_cache.stats.hits == 1
+
+
+def test_update_invalidates_dependent_results(db):
+    host, sm, r_rows, _s = db
+    engine = make_engine(db)
+    assert engine.run_query(agg_plan()) == [(len(r_rows),)]
+    engine.run_query(InsertRows("r", [(9999, 0, 1.0, "zz")]))
+    # The cached count would now be stale; it must be recomputed.
+    assert engine.run_query(agg_plan()) == [(len(r_rows) + 1,)]
+    assert engine.result_cache.stats.invalidations >= 1
+
+
+def test_different_predicates_are_different_entries(db):
+    host, sm, r_rows, _s = db
+    engine = make_engine(db)
+
+    def plan(g):
+        return Aggregate(
+            TableScan("r", predicate=Col("grp") == g),
+            [AggSpec("count", None, "n")],
+        )
+
+    a = engine.run_query(plan(1))
+    b = engine.run_query(plan(2))
+    assert a != b or a == b  # both executed; now both cached
+    assert len(engine.result_cache) == 2
+    assert engine.run_query(plan(1)) == a
+    assert engine.result_cache.stats.hits == 1
+
+
+def test_cache_off_by_default(db):
+    _h, sm, _r, _s = db
+    engine = QPipeEngine(sm, QPipeConfig())
+    engine.run_query(agg_plan())
+    engine.run_query(agg_plan())
+    assert engine.result_cache.stats.hits == 0
+    assert len(engine.result_cache) == 0

@@ -1,0 +1,168 @@
+"""Regression tests: interrupting a waiter must not leak grants or items.
+
+A process interrupted while suspended on a wait queue leaves behind an
+abandoned entry.  Granting that entry would leak a resource unit (the
+bug once froze the disk at 100% utilisation forever), deliver an item to
+nobody, or grant a lock to a ghost.
+"""
+
+from repro.sim import Channel, Resource, Semaphore, Simulator
+from repro.storage.locks import LockManager, LockMode
+
+
+def test_interrupted_resource_waiter_does_not_leak_unit():
+    sim = Simulator()
+    disk = Resource(sim, capacity=1, name="disk")
+    log = []
+
+    def holder():
+        grant = yield disk.request()
+        yield sim.timeout(10)
+        disk.release(grant)
+
+    def victim():
+        yield disk.request()  # queued behind holder; killed before grant
+        log.append("victim ran")  # must never happen
+
+    def killer(proc):
+        yield sim.timeout(5)
+        proc.interrupt("gone")
+
+    def late_user():
+        yield sim.timeout(20)
+        grant = yield disk.request()
+        log.append(("late got disk", sim.now))
+        disk.release(grant)
+
+    sim.spawn(holder())
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    late = sim.spawn(late_user())
+    sim.run_until_done([late])
+    # The unit released at t=10 must not be granted to the dead victim;
+    # the late user gets it immediately at t=20.
+    assert log == [("late got disk", 20.0)]
+    assert disk.in_use == 0
+
+
+def test_interrupted_channel_putter_withdraws_item():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+    got = []
+
+    def producer():
+        yield ch.put("a")
+        yield ch.put("b")  # blocks; killed while waiting
+
+    def killer(proc):
+        yield sim.timeout(2)
+        proc.interrupt()
+
+    def consumer():
+        yield sim.timeout(5)
+        got.append((yield ch.get()))
+        event = ch.get()
+        yield sim.timeout(5)
+        # "b" was withdrawn with its dead producer: nothing else arrives.
+        assert not event.triggered
+
+    p = sim.spawn(producer())
+    sim.spawn(killer(p))
+    c = sim.spawn(consumer())
+    sim.run(until=50)
+    assert got == ["a"]
+
+
+def test_interrupted_channel_getter_does_not_swallow_item():
+    sim = Simulator()
+    ch = Channel(sim, capacity=4)
+    got = []
+
+    def victim():
+        yield ch.get()  # blocks on empty channel; killed while waiting
+        got.append("victim")  # must never happen
+
+    def killer(proc):
+        yield sim.timeout(1)
+        proc.interrupt()
+
+    def producer():
+        yield sim.timeout(5)
+        yield ch.put("x")
+
+    def consumer():
+        yield sim.timeout(6)
+        got.append((yield ch.get()))
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    sim.spawn(producer())
+    c = sim.spawn(consumer())
+    sim.run_until_done([c])
+    assert got == ["x"]
+
+
+def test_interrupted_semaphore_waiter_skipped():
+    sim = Simulator()
+    sem = Semaphore(sim, value=1)
+    log = []
+
+    def holder():
+        yield sem.acquire()
+        yield sim.timeout(10)
+        sem.release()
+
+    def victim():
+        yield sem.acquire()
+        log.append("victim")
+
+    def killer(proc):
+        yield sim.timeout(2)
+        proc.interrupt()
+
+    def late():
+        yield sim.timeout(15)
+        yield sem.acquire()
+        log.append(("late", sim.now))
+
+    sim.spawn(holder())
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    p = sim.spawn(late())
+    sim.run_until_done([p])
+    assert log == [("late", 15.0)]
+
+
+def test_interrupted_lock_waiter_skipped():
+    sim = Simulator()
+    lm = LockManager(sim)
+    log = []
+
+    def writer():
+        yield lm.acquire("w", "t", LockMode.EXCLUSIVE)
+        yield sim.timeout(10)
+        lm.release("w", "t")
+
+    def victim():
+        yield lm.acquire("v", "t", LockMode.EXCLUSIVE)
+        log.append("victim")
+
+    def killer(proc):
+        yield sim.timeout(2)
+        proc.interrupt()
+
+    def reader():
+        yield sim.timeout(3)
+        yield lm.acquire("r", "t", LockMode.SHARED)
+        log.append(("reader", sim.now))
+        lm.release("r", "t")
+
+    sim.spawn(writer())
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    r = sim.spawn(reader())
+    sim.run_until_done([r])
+    # The dead victim's queued X request must not block the reader after
+    # the writer releases (nor be granted to the ghost).
+    assert log == [("reader", 10.0)]
+    assert lm.holders("t") == []

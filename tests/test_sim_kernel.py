@@ -1,0 +1,300 @@
+"""Unit tests for the DES kernel: events, processes, timeouts, interrupts."""
+
+import pytest
+
+from repro.sim import (
+    Interrupted,
+    Simulator,
+    SimulationError,
+    StarvationError,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [5.0, 7.5]
+    assert sim.now == 7.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.triggered and p.value == 42
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        log.append((name, sim.now))
+
+    sim.spawn(proc("b", 2))
+    sim.spawn(proc("a", 1))
+    sim.spawn(proc("c", 3))
+    sim.run()
+    assert log == [("a", 1), ("b", 2), ("c", 3)]
+
+
+def test_fifo_order_at_equal_timestamps():
+    """Events at the same timestamp run in scheduling order (determinism)."""
+    sim = Simulator()
+    log = []
+
+    def proc(name):
+        yield sim.timeout(1)
+        log.append(name)
+
+    for name in "abcde":
+        sim.spawn(proc(name))
+    sim.run()
+    assert log == list("abcde")
+
+
+def test_wait_on_process_completion():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield sim.timeout(3)
+        return "payload"
+
+    def parent():
+        value = yield sim.spawn(child())
+        log.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert log == [(3.0, "payload")]
+
+
+def test_subroutine_composition_with_yield_from():
+    sim = Simulator()
+    log = []
+
+    def sub(n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def proc():
+        a = yield from sub(1)
+        b = yield from sub(2)
+        log.append(a + b)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [6]
+    assert sim.now == 3.0
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    def firer():
+        yield sim.timeout(4)
+        ev.succeed("hello")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == ["hello"]
+    assert sim.now == 4.0
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_throws_into_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield sim.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_exception_aborts_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("broken operator")
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupted as exc:
+            log.append((sim.now, exc.cause))
+
+    def killer(target):
+        yield sim.timeout(5)
+        target.interrupt("subtree terminated")
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    sim.run()
+    assert log == [(5.0, "subtree terminated")]
+
+
+def test_uncaught_interrupt_kills_process_quietly():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(100)
+
+    def killer(target):
+        yield sim.timeout(5)
+        target.interrupt()
+
+    v = sim.spawn(victim())
+    sim.spawn(killer(v))
+    sim.run()
+    assert v.triggered and v.value is None
+    assert sim.now == 5.0
+
+
+def test_interrupt_terminated_process_is_noop():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(1)
+
+    v = sim.spawn(victim())
+    sim.run()
+    v.interrupt()  # must not raise
+    assert v.triggered
+
+
+def test_run_until_limits_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.spawn(proc())
+    sim.run(until=10)
+    assert sim.now == 10.0
+
+
+def test_run_until_done_raises_on_starvation():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event()  # never fires
+
+    p = sim.spawn(stuck())
+    with pytest.raises(StarvationError):
+        sim.run_until_done([p])
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        t1, t2 = sim.timeout(5, "slow"), sim.timeout(2, "fast")
+        fired = yield sim.any_of([t1, t2])
+        results.append((sim.now, sorted(fired.values())))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(2.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        t1, t2 = sim.timeout(5, "slow"), sim.timeout(2, "fast")
+        fired = yield sim.all_of([t1, t2])
+        results.append((sim.now, sorted(fired.values())))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(5.0, ["fast", "slow"])]
+
+
+def test_determinism_two_identical_runs():
+    """The same program produces the exact same trace on every run."""
+
+    def trace_run():
+        sim = Simulator()
+        log = []
+
+        def proc(name, period, count):
+            for _ in range(count):
+                yield sim.timeout(period)
+                log.append((name, sim.now))
+
+        sim.spawn(proc("x", 1.5, 4))
+        sim.spawn(proc("y", 2.0, 3))
+        sim.run()
+        return log
+
+    assert trace_run() == trace_run()

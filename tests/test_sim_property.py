@@ -1,0 +1,170 @@
+"""Property tests for the DES kernel under random interleavings.
+
+Invariants:
+
+* channel conservation -- every item put is either delivered or still
+  buffered; FIFO order holds per channel;
+* resource conservation -- grants never exceed capacity, and every
+  acquisition is eventually released;
+* determinism -- the same program yields the same trace.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Channel, Resource, Simulator
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_producers=st.integers(1, 4),
+    n_consumers=st.integers(1, 4),
+    items_each=st.integers(1, 20),
+    capacity=st.integers(1, 8),
+)
+def test_property_channel_conserves_items(
+    seed, n_producers, n_consumers, items_each, capacity
+):
+    rng = random.Random(seed)
+    sim = Simulator()
+    ch = Channel(sim, capacity=capacity)
+    delivered = []
+    total = n_producers * items_each
+    delays = [rng.uniform(0, 5) for _ in range(n_producers + n_consumers)]
+
+    def producer(pid, delay):
+        yield sim.timeout(delay)
+        for i in range(items_each):
+            yield ch.put((pid, i))
+
+    def consumer(delay, quota):
+        yield sim.timeout(delay)
+        for _ in range(quota):
+            item = yield ch.get()
+            delivered.append(item)
+
+    # Partition the consumption quota over the consumers.
+    quotas = [total // n_consumers] * n_consumers
+    quotas[0] += total - sum(quotas)
+    procs = []
+    for pid in range(n_producers):
+        procs.append(sim.spawn(producer(pid, delays[pid])))
+    for cid in range(n_consumers):
+        procs.append(
+            sim.spawn(consumer(delays[n_producers + cid], quotas[cid]))
+        )
+    sim.run_until_done(procs)
+    # Conservation: every item delivered exactly once.
+    assert sorted(delivered) == sorted(
+        (pid, i) for pid in range(n_producers) for i in range(items_each)
+    )
+    # Per-producer FIFO: each producer's items arrive in order.
+    for pid in range(n_producers):
+        seq = [i for p, i in delivered if p == pid]
+        assert seq == sorted(seq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    capacity=st.integers(1, 4),
+    n_users=st.integers(1, 10),
+)
+def test_property_resource_never_overcommits(seed, capacity, n_users):
+    rng = random.Random(seed)
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    peak = [0]
+
+    def user(delay, hold):
+        yield sim.timeout(delay)
+        grant = yield res.request()
+        peak[0] = max(peak[0], res.in_use)
+        assert res.in_use <= capacity
+        yield sim.timeout(hold)
+        res.release(grant)
+
+    procs = [
+        sim.spawn(user(rng.uniform(0, 3), rng.uniform(0.1, 2)))
+        for _ in range(n_users)
+    ]
+    sim.run_until_done(procs)
+    assert res.in_use == 0
+    assert 1 <= peak[0] <= capacity
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_simulation_is_deterministic(seed):
+    def trace(run_seed):
+        rng = random.Random(run_seed)
+        sim = Simulator()
+        ch = Channel(sim, capacity=3)
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def worker(wid, delay):
+            yield sim.timeout(delay)
+            grant = yield res.request()
+            yield sim.timeout(0.5)
+            res.release(grant)
+            yield ch.put(wid)
+
+        def collector(count):
+            for _ in range(count):
+                wid = yield ch.get()
+                log.append((round(sim.now, 6), wid))
+
+        n = 6
+        procs = [
+            sim.spawn(worker(i, rng.uniform(0, 4))) for i in range(n)
+        ]
+        procs.append(sim.spawn(collector(n)))
+        sim.run_until_done(procs)
+        return log
+
+    assert trace(seed) == trace(seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    kills=st.integers(0, 3),
+)
+def test_property_interrupts_never_wedge_resources(seed, kills):
+    """Randomly interrupting waiters must never leak resource units."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    survivors = []
+
+    def user(uid, delay, hold):
+        yield sim.timeout(delay)
+        grant = yield res.request()
+        try:
+            # Like every real holder (disk reads, CPU bursts), release on
+            # interrupt via finally.
+            yield sim.timeout(hold)
+            survivors.append(uid)
+        finally:
+            res.release(grant)
+
+    procs = [
+        sim.spawn(user(i, rng.uniform(0, 2), rng.uniform(0.5, 1.5)))
+        for i in range(6)
+    ]
+
+    def killer():
+        for _ in range(kills):
+            yield sim.timeout(rng.uniform(0.1, 2))
+            victim = procs[rng.randrange(len(procs))]
+            victim.interrupt("chaos")
+
+    sim.spawn(killer())
+    sim.run()
+    # Everyone not killed finished; the resource ends idle.
+    assert res.in_use == 0
+    assert len(survivors) >= len(procs) - kills

@@ -1,0 +1,132 @@
+"""Unit tests for the table lock manager."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage.locks import LockManager, LockMode
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+def test_shared_locks_coexist():
+    sim = Simulator()
+    lm = LockManager(sim)
+    granted = []
+
+    def reader(name):
+        yield lm.acquire(name, "t", S)
+        granted.append((name, sim.now))
+        yield sim.timeout(5)
+        lm.release(name, "t")
+
+    sim.spawn(reader("a"))
+    sim.spawn(reader("b"))
+    sim.run()
+    assert granted == [("a", 0.0), ("b", 0.0)]
+
+
+def test_exclusive_blocks_shared():
+    sim = Simulator()
+    lm = LockManager(sim)
+    log = []
+
+    def writer():
+        yield lm.acquire("w", "t", X)
+        log.append(("w", sim.now))
+        yield sim.timeout(10)
+        lm.release("w", "t")
+
+    def reader():
+        yield sim.timeout(1)
+        yield lm.acquire("r", "t", S)
+        log.append(("r", sim.now))
+        lm.release("r", "t")
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert log == [("w", 0.0), ("r", 10.0)]
+
+
+def test_fifo_writer_not_starved():
+    """A waiting X blocks later S requests (no reader starvation of writers)."""
+    sim = Simulator()
+    lm = LockManager(sim)
+    log = []
+
+    def early_reader():
+        yield lm.acquire("r1", "t", S)
+        yield sim.timeout(10)
+        lm.release("r1", "t")
+
+    def writer():
+        yield sim.timeout(1)
+        yield lm.acquire("w", "t", X)
+        log.append(("w", sim.now))
+        yield sim.timeout(5)
+        lm.release("w", "t")
+
+    def late_reader():
+        yield sim.timeout(2)
+        yield lm.acquire("r2", "t", S)
+        log.append(("r2", sim.now))
+        lm.release("r2", "t")
+
+    sim.spawn(early_reader())
+    sim.spawn(writer())
+    sim.spawn(late_reader())
+    sim.run()
+    # The late reader must wait behind the queued writer.
+    assert log == [("w", 10.0), ("r2", 15.0)]
+
+
+def test_reacquire_same_mode_is_idempotent():
+    sim = Simulator()
+    lm = LockManager(sim)
+
+    def owner():
+        yield lm.acquire("o", "t", S)
+        yield lm.acquire("o", "t", S)  # immediate
+        lm.release("o", "t")
+
+    p = sim.spawn(owner())
+    sim.run_until_done([p])
+    assert lm.holders("t") == []
+
+
+def test_release_unheld_raises():
+    sim = Simulator()
+    lm = LockManager(sim)
+    with pytest.raises(Exception):
+        lm.release("nobody", "t")
+
+
+def test_release_all():
+    sim = Simulator()
+    lm = LockManager(sim)
+
+    def owner():
+        yield lm.acquire("o", "t1", S)
+        yield lm.acquire("o", "t2", X)
+        lm.release_all("o")
+
+    p = sim.spawn(owner())
+    sim.run_until_done([p])
+    assert lm.holders("t1") == [] and lm.holders("t2") == []
+
+
+def test_queue_length_introspection():
+    sim = Simulator()
+    lm = LockManager(sim)
+
+    def writer(name, hold):
+        yield lm.acquire(name, "t", X)
+        yield sim.timeout(hold)
+        lm.release(name, "t")
+
+    sim.spawn(writer("w1", 5))
+    sim.spawn(writer("w2", 5))
+    sim.run(until=1)
+    assert lm.queue_length("t") == 1
+    sim.run()
+    assert lm.queue_length("t") == 0

@@ -1,0 +1,113 @@
+"""Unit tests for pages, slots, RIDs, and heap files."""
+
+import pytest
+
+from repro.storage.file import BlockStore, HeapFile
+from repro.storage.page import PAGE_SIZE, Page, RID, rows_per_page
+
+
+def test_rows_per_page_geometry():
+    assert rows_per_page(200) == PAGE_SIZE // 200
+    assert rows_per_page(PAGE_SIZE + 1) == 1  # at least one row per page
+
+
+def test_rows_per_page_rejects_bad_width():
+    with pytest.raises(ValueError):
+        rows_per_page(0)
+
+
+def test_page_insert_and_get():
+    page = Page(capacity=3)
+    assert page.insert((1, "a")) == 0
+    assert page.insert((2, "b")) == 1
+    assert page.get(0) == (1, "a")
+    assert page.num_live == 2
+    assert not page.full
+
+
+def test_page_full_rejects_insert():
+    page = Page(capacity=1)
+    page.insert((1,))
+    assert page.full
+    with pytest.raises(ValueError):
+        page.insert((2,))
+
+
+def test_page_delete_leaves_tombstone():
+    page = Page(capacity=3)
+    page.insert((1,))
+    page.insert((2,))
+    page.delete(0)
+    assert page.get(0) is None
+    assert page.num_slots == 2  # slot survives as a tombstone
+    assert page.rows() == [(2,)]
+    assert list(page.items()) == [(1, (2,))]
+
+
+def test_page_update_rejects_tombstone():
+    page = Page(capacity=2)
+    page.insert((1,))
+    page.delete(0)
+    with pytest.raises(ValueError):
+        page.update(0, (9,))
+
+
+def test_page_slot_bounds_checked():
+    page = Page(capacity=2)
+    with pytest.raises(IndexError):
+        page.get(0)
+
+
+def test_rid_orders_by_page_then_slot():
+    rids = [RID(2, 0), RID(1, 5), RID(1, 2)]
+    assert sorted(rids) == [RID(1, 2), RID(1, 5), RID(2, 0)]
+
+
+def test_heapfile_append_creates_pages():
+    store = BlockStore()
+    heap = HeapFile(store, "t", rows_per_page=2)
+    rids = [heap.append_row((i,)) for i in range(5)]
+    assert heap.num_pages == 3
+    assert heap.num_rows == 5
+    assert rids[0] == RID(0, 0)
+    assert rids[2] == RID(1, 0)
+    assert heap.fetch(rids[4]) == (4,)
+
+
+def test_heapfile_all_rows_in_file_order():
+    store = BlockStore()
+    heap = HeapFile(store, "t", rows_per_page=3)
+    heap.bulk_load([(i,) for i in range(10)])
+    assert heap.all_rows() == [(i,) for i in range(10)]
+    assert [rid for rid, _row in heap.rids_and_rows()] == sorted(
+        rid for rid, _row in heap.rids_and_rows()
+    )
+
+
+def test_heapfile_fetch_tombstone_raises():
+    store = BlockStore()
+    heap = HeapFile(store, "t", rows_per_page=4)
+    rid = heap.append_row((1,))
+    heap.page(rid.block_no).delete(rid.slot)
+    with pytest.raises(KeyError):
+        heap.fetch(rid)
+
+
+def test_blockstore_file_lifecycle():
+    store = BlockStore()
+    fid = store.create_file("x")
+    assert store.file_name(fid) == "x"
+    b0 = store.append_block(fid, "payload")
+    assert store.read_block(fid, b0) == "payload"
+    store.write_block(fid, b0, "changed")
+    assert store.read_block(fid, b0) == "changed"
+    store.drop_file(fid)
+    with pytest.raises(KeyError):
+        store.read_block(fid, 0)
+
+
+def test_blockstore_block_bounds():
+    store = BlockStore()
+    fid = store.create_file("x")
+    with pytest.raises(IndexError):
+        store.read_block(fid, 0)
