@@ -10,7 +10,29 @@ import pathlib
 
 import pytest
 
+from repro.harness import collected_tracers, disable_tracing, enable_tracing
+from repro.obs import InvariantChecker
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def invariant_tracing():
+    """Trace every system the benchmark builds; after the figure's own
+    assertions pass, replay each trace through the InvariantChecker.
+
+    Tracing is passive, so the rendered figures in ``benchmarks/out/``
+    are identical with and without this fixture.
+    """
+    enable_tracing()
+    yield
+    try:
+        tracers = collected_tracers()
+        assert tracers, "tracing captured no simulated systems"
+        for tracer in tracers:
+            InvariantChecker(tracer.events).assert_ok()
+    finally:
+        disable_tracing()
 
 
 @pytest.fixture

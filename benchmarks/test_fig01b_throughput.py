@@ -7,7 +7,7 @@ from repro.harness.experiments import fig1b_throughput
 CLIENTS = (1, 4, 8, 12)
 
 
-def test_fig01b_throughput(benchmark, figure_sink):
+def test_fig01b_throughput(benchmark, figure_sink, invariant_tracing):
     series = run_once(
         benchmark, lambda: fig1b_throughput(SMOKE, client_counts=CLIENTS)
     )

@@ -6,7 +6,7 @@ from repro.harness import SMOKE, fig8_scan_sharing
 GAPS = (0, 10, 20, 40, 60, 80, 100)
 
 
-def test_fig08_scan_sharing(benchmark, figure_sink):
+def test_fig08_scan_sharing(benchmark, figure_sink, invariant_tracing):
     out = run_once(
         benchmark,
         lambda: fig8_scan_sharing(SMOKE, client_counts=(2, 4, 8),

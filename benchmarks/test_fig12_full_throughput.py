@@ -6,7 +6,7 @@ from repro.harness import SMOKE, fig12_throughput
 CLIENTS = (1, 2, 4, 6, 8, 10, 12)
 
 
-def test_fig12_full_throughput(benchmark, figure_sink):
+def test_fig12_full_throughput(benchmark, figure_sink, invariant_tracing):
     series = run_once(
         benchmark, lambda: fig12_throughput(SMOKE, client_counts=CLIENTS)
     )

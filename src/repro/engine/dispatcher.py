@@ -119,7 +119,9 @@ class PacketDispatcher:
             name=f"q{query.query_id}:{plan.op_name}:out",
         )
         self.engine.register_buffer(primary)
+        packet.packet_id = f"q{query.query_id}p{len(query.packets)}"
         query.packets.append(packet)
+        self.engine.sim.tracer.packet_create(packet)
 
         for child in plan.children:
             child_packet = self.build_subtree(

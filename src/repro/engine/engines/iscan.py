@@ -240,11 +240,21 @@ class IScanEngine(MicroEngine):
         extra = split.get("other_pages", 0)
         if saved <= extra:
             self.engine.osp_stats.mj_splits_rejected += 1
+            self.sim.tracer.osp(
+                "mj_split_rejected",
+                packet=packet.packet_id,
+                host=host.packet_id,
+                saved=saved,
+                extra=extra,
+            )
             return False
 
         packet.state = PacketState.SATELLITE
         packet.host = host
         host.satellites.append(packet)
+        self.sim.tracer.packet_attach(
+            packet, host, "mj-split", saved=saved, extra=extra
+        )
         packet.cancel_subtree()
         # Only one input of a merge-join may be segmented: with both
         # sides split the two-pass union would no longer cover the full
@@ -317,3 +327,4 @@ class IScanEngine(MicroEngine):
             out.close()
             if packet.state is PacketState.SATELLITE:
                 packet.state = PacketState.DONE
+                self.sim.tracer.packet_complete(packet)

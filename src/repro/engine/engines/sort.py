@@ -144,6 +144,9 @@ class SortEngine(MicroEngine):
             packet.state = PacketState.SATELLITE
             packet.host = host
             host.satellites.append(packet)
+            self.sim.tracer.packet_attach(
+                packet, host, "sort-reemit", materialized=True
+            )
             packet.cancel_subtree()
             self.engine.osp_stats.sort_reemissions += 1
             self.engine.osp_stats.record_attach(self.name, packet)
@@ -163,3 +166,4 @@ class SortEngine(MicroEngine):
             out.close()
             if packet.state is PacketState.SATELLITE:
                 packet.state = PacketState.DONE
+                self.sim.tracer.packet_complete(packet)

@@ -69,6 +69,7 @@ class MicroEngine:
             return
         packet.state = PacketState.QUEUED
         self.active.append(packet)
+        self.sim.tracer.packet_enqueue(packet)
         assert self.queue.try_put(packet)
 
     def _worker_loop(self, index: int) -> Generator:
@@ -80,6 +81,7 @@ class MicroEngine:
             # Expose this worker's process so cancel_subtree can interrupt.
             packet.worker = self._worker_procs[index]
             self.packets_served += 1
+            self.sim.tracer.packet_dispatch(packet)
             try:
                 yield from self._serve_wrapper(packet)
             except Interrupted:
@@ -92,6 +94,7 @@ class MicroEngine:
                     self.active.remove(packet)
                 if packet.state is PacketState.RUNNING:
                     packet.state = PacketState.DONE
+                    self.sim.tracer.packet_complete(packet)
 
     def _serve_wrapper(self, packet: Packet) -> Generator:
         try:
@@ -177,6 +180,15 @@ class MicroEngine:
         packet.state = PacketState.SATELLITE
         packet.host = host
         host.satellites.append(packet)
+        # Record the WoP evidence this attach decision rested on; the
+        # InvariantChecker re-validates it when replaying the trace.
+        self.sim.tracer.packet_attach(
+            packet,
+            host,
+            "generic",
+            host_tuples=host.output.total_tuples,
+            can_replay=host.output.can_replay(),
+        )
         packet.cancel_subtree()
         self.sim.spawn(
             self._attach_proc(host, packet),
@@ -190,6 +202,7 @@ class MicroEngine:
             packet.primary_output.close()
         if host.output.closed:
             packet.state = PacketState.DONE
+            self.sim.tracer.packet_complete(packet)
 
     # ------------------------------------------------------------------
     # Helpers for operator implementations

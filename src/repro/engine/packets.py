@@ -58,6 +58,10 @@ class Packet:
     plan: PlanNode
     signature: str
     engine_name: str
+    #: Deterministic id ("q<query>p<n>") assigned by the dispatcher;
+    #: this is what trace events refer to (never Python object ids, so
+    #: identical runs yield byte-identical traces).
+    packet_id: str = ""
     inputs: List[TupleBuffer] = field(default_factory=list)
     output: Optional[FanOut] = None
     children: List["Packet"] = field(default_factory=list)
@@ -102,10 +106,12 @@ class Packet:
         their micro-engine skips them; the buffers between them are closed
         so nothing blocks forever.
         """
+        tracer = self.query.sm.sim.tracer
         for packet in self.descendants():
             if packet.state in (PacketState.DONE, PacketState.CANCELLED):
                 continue
             packet.state = PacketState.CANCELLED
+            tracer.packet_cancel(packet, "subtree cancelled")
             if packet.worker is not None and packet.worker.alive:
                 packet.worker.interrupt("subtree cancelled by OSP attach")
                 packet.worker = None

@@ -6,7 +6,14 @@ runs the workload on the simulated host, and returns a structured
 rows the paper plots.  EXPERIMENTS.md records paper-vs-measured shapes.
 """
 
-from repro.harness.config import Scale, SMOKE, DEFAULT
+from repro.harness.config import (
+    Scale,
+    SMOKE,
+    DEFAULT,
+    collected_tracers,
+    disable_tracing,
+    enable_tracing,
+)
 from repro.harness.experiments import (
     fig1a_breakdown,
     fig1b_throughput,
@@ -34,6 +41,9 @@ __all__ = [
     "ablation_late_activation",
     "ablation_replacement_policies",
     "ablation_replay_ring",
+    "collected_tracers",
+    "disable_tracing",
+    "enable_tracing",
     "fig10_sort_merge",
     "fig11_hash_join",
     "fig12_throughput",

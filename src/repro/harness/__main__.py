@@ -11,12 +11,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.harness import (
     DEFAULT,
     SMOKE,
+    collected_tracers,
+    disable_tracing,
+    enable_tracing,
     ablation_circular_wraparound,
     ablation_late_activation,
     ablation_replacement_policies,
@@ -95,6 +99,15 @@ def main(argv=None) -> int:
         default="smoke",
         help="experiment scale preset (default: smoke)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record packet-lifecycle traces; writes one JSONL and one "
+            "Chrome trace_event file per simulated host into DIR"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -111,10 +124,31 @@ def main(argv=None) -> int:
         )
     scale = SCALES[args.scale]
     for name in names:
+        if args.trace is not None:
+            enable_tracing()
         start = time.time()
         print(FIGURES[name](scale))
         print(f"[{name} @ {scale.name}: {time.time() - start:.1f}s wall]\n")
+        if args.trace is not None:
+            _dump_traces(args.trace, name)
+    if args.trace is not None:
+        disable_tracing()
     return 0
+
+
+def _dump_traces(directory: str, figure: str) -> None:
+    """Export every tracer the figure's system builders registered."""
+    from repro.obs import write_chrome, write_jsonl
+
+    os.makedirs(directory, exist_ok=True)
+    for i, tracer in enumerate(collected_tracers()):
+        stem = os.path.join(directory, f"{figure}-{i:02d}")
+        write_jsonl(tracer.events, f"{stem}.jsonl")
+        write_chrome(tracer.events, f"{stem}.trace.json")
+        print(
+            f"[trace: {stem}.jsonl + .trace.json "
+            f"({len(tracer.events)} events)]"
+        )
 
 
 if __name__ == "__main__":

@@ -78,6 +78,32 @@ def with_overrides(scale: Scale, **kwargs) -> Scale:
 
 
 # ---------------------------------------------------------------------------
+# Tracing registry (the harness --trace flag)
+# ---------------------------------------------------------------------------
+#: When enabled, every host built by the system builders gets a
+#: :class:`repro.obs.Tracer` attached to its simulator, registered here
+#: so the caller can export the traces after the experiment.
+_TRACING: Dict[str, object] = {"enabled": False, "tracers": []}
+
+
+def enable_tracing() -> None:
+    """Attach a Tracer to every subsequently built host (resets the
+    collected list)."""
+    _TRACING["enabled"] = True
+    _TRACING["tracers"] = []
+
+
+def disable_tracing() -> None:
+    _TRACING["enabled"] = False
+    _TRACING["tracers"] = []
+
+
+def collected_tracers() -> List[object]:
+    """Tracers attached since :func:`enable_tracing`, in creation order."""
+    return list(_TRACING["tracers"])  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
 # System builders
 # ---------------------------------------------------------------------------
 def _host_for_pages(scale: Scale, calibration_pages: int) -> Host:
@@ -90,7 +116,12 @@ def _host_for_pages(scale: Scale, calibration_pages: int) -> Host:
         disk_seek_time=transfer * scale.seek_factor,
         seed=scale.seed,
     )
-    return Host(config)
+    host = Host(config)
+    if _TRACING["enabled"]:
+        from repro.obs import Tracer
+
+        _TRACING["tracers"].append(Tracer(host.sim))  # type: ignore[union-attr]
+    return host
 
 
 def _estimate_lineitem_pages(scale: Scale) -> int:

@@ -1,0 +1,49 @@
+"""Observability: packet-lifecycle tracing, trace analysis, invariants.
+
+The subsystem has four parts:
+
+* :mod:`repro.obs.tracer` -- the :class:`Tracer` that records typed
+  events with virtual timestamps (and the allocation-free
+  :class:`NullTracer` every simulator starts with);
+* :mod:`repro.obs.export` -- deterministic JSONL plus Chrome
+  ``trace_event`` renderings of a recorded trace;
+* :mod:`repro.obs.query_trace` -- the per-query analysis API (critical
+  path, wait-time breakdown);
+* :mod:`repro.obs.invariants` -- the :class:`InvariantChecker` that
+  replays a trace and asserts engine invariants.
+
+Typical use::
+
+    from repro.obs import InvariantChecker, Tracer
+
+    tracer = Tracer(host.sim)          # installs itself on the simulator
+    ... run queries ...
+    InvariantChecker(tracer.events).assert_ok()
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_dumps,
+    read_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.invariants import InvariantChecker, InvariantViolation
+from repro.obs.query_trace import PacketTimeline, QueryTrace, query_ids
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "NULL_TRACER",
+    "NullTracer",
+    "PacketTimeline",
+    "QueryTrace",
+    "Tracer",
+    "chrome_trace",
+    "jsonl_dumps",
+    "query_ids",
+    "read_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]

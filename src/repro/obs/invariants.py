@@ -1,0 +1,209 @@
+"""Trace replay and engine-invariant checking.
+
+The :class:`InvariantChecker` replays a recorded trace (a list of event
+dicts, straight from a :class:`~repro.obs.tracer.Tracer` or loaded back
+from JSONL) and asserts the engine invariants that every correct run
+must satisfy, whatever the workload:
+
+* **Clock monotonicity** -- virtual timestamps never go backwards.
+* **Packet lifecycle** -- every packet is created exactly once before
+  any other event; dispatch requires a prior enqueue; a packet never
+  both runs standalone and attaches as a satellite; nothing happens to
+  a packet after it completed; and no packet completes unattached (no
+  prior dispatch or attach) or completes twice.
+* **WoP bounds** -- every satellite attach carries the evidence its
+  window-of-opportunity test was based on, and that evidence must
+  actually satisfy the operator's sharing rule: a *generic* attach needs
+  a host with no output yet or a full replay ring, a *sort re-emission*
+  needs a materialised result, and a *merge-join split* must save more
+  pages than the second pass of the non-shared relation costs.
+* **Pin balance** -- buffer pool pins and unpins pair up per page, the
+  count never goes negative, and nothing stays pinned at end of trace;
+  a pinned page is never evicted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """A trace violated an engine invariant; ``violations`` lists them."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = violations
+        preview = "\n  ".join(violations[:10])
+        more = (
+            f"\n  ... and {len(violations) - 10} more"
+            if len(violations) > 10
+            else ""
+        )
+        super().__init__(
+            f"{len(violations)} invariant violation(s):\n  {preview}{more}"
+        )
+
+
+class InvariantChecker:
+    """Replays one trace and collects every invariant violation."""
+
+    def __init__(self, events: Iterable[Dict[str, Any]]):
+        self.events = list(events)
+        self.violations: List[str] = []
+
+    # ------------------------------------------------------------------
+    def check(self) -> List[str]:
+        """Run every invariant; returns (and stores) the violation list."""
+        self.violations = []
+        self._check_monotonic_clock()
+        self._check_packet_lifecycles()
+        self._check_attach_windows()
+        self._check_pin_balance()
+        return self.violations
+
+    def assert_ok(self) -> None:
+        """Raise :class:`InvariantViolation` when any invariant fails."""
+        if self.check():
+            raise InvariantViolation(self.violations)
+
+    @property
+    def ok(self) -> bool:
+        return not self.check()
+
+    def _flag(self, message: str) -> None:
+        self.violations.append(message)
+
+    # ------------------------------------------------------------------
+    def _check_monotonic_clock(self) -> None:
+        last = None
+        for i, event in enumerate(self.events):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                self._flag(f"event #{i} has no numeric ts: {event!r}")
+                continue
+            if last is not None and ts < last:
+                self._flag(
+                    f"clock went backwards at event #{i}: "
+                    f"{ts} < {last} ({event.get('type')})"
+                )
+            last = ts
+
+    # ------------------------------------------------------------------
+    def _check_packet_lifecycles(self) -> None:
+        created: set = set()
+        enqueued: set = set()
+        dispatched: set = set()
+        attached: set = set()
+        completed: set = set()
+        cancelled: set = set()
+        for event in self.events:
+            etype = event.get("type", "")
+            if not etype.startswith("packet."):
+                continue
+            kind = etype.split(".", 1)[1]
+            pid = event.get("packet")
+            if pid is None:
+                self._flag(f"{etype} event without a packet id: {event!r}")
+                continue
+            if kind != "create" and pid not in created:
+                self._flag(f"{etype} for {pid} before packet.create")
+            if pid in completed and kind != "create":
+                self._flag(f"{etype} for {pid} after packet.complete")
+            if kind == "create":
+                if pid in created:
+                    self._flag(f"packet {pid} created twice")
+                created.add(pid)
+            elif kind == "enqueue":
+                if pid in enqueued:
+                    self._flag(f"packet {pid} enqueued twice")
+                enqueued.add(pid)
+            elif kind == "dispatch":
+                if pid not in enqueued:
+                    self._flag(f"packet {pid} dispatched without enqueue")
+                if pid in dispatched:
+                    self._flag(f"packet {pid} dispatched twice")
+                if pid in attached:
+                    self._flag(
+                        f"packet {pid} dispatched after attaching as satellite"
+                    )
+                dispatched.add(pid)
+            elif kind == "attach":
+                if pid in dispatched:
+                    self._flag(
+                        f"packet {pid} attached as satellite after dispatch"
+                    )
+                if pid in attached:
+                    self._flag(f"packet {pid} attached twice")
+                attached.add(pid)
+            elif kind == "complete":
+                if pid in completed:
+                    self._flag(f"packet {pid} completed twice")
+                elif pid not in dispatched and pid not in attached:
+                    self._flag(
+                        f"packet {pid} completed without dispatch or attach"
+                    )
+                completed.add(pid)
+            elif kind == "cancel":
+                cancelled.add(pid)
+
+    # ------------------------------------------------------------------
+    def _check_attach_windows(self) -> None:
+        for event in self.events:
+            if event.get("type") != "packet.attach":
+                continue
+            pid = event.get("packet")
+            mechanism = event.get("mechanism")
+            if mechanism == "generic":
+                host_tuples = event.get("host_tuples", 0)
+                can_replay = event.get("can_replay", False)
+                if host_tuples != 0 and not can_replay:
+                    self._flag(
+                        f"generic attach of {pid} outside the WoP: host had "
+                        f"produced {host_tuples} tuples with replay exhausted"
+                    )
+            elif mechanism == "sort-reemit":
+                if not event.get("materialized", False):
+                    self._flag(
+                        f"sort re-emission attach of {pid} without a "
+                        f"materialised result"
+                    )
+            elif mechanism == "mj-split":
+                saved = event.get("saved", 0)
+                extra = event.get("extra", 0)
+                if saved <= extra:
+                    self._flag(
+                        f"merge-join split of {pid} against the cost model: "
+                        f"saves {saved} pages but re-reads {extra}"
+                    )
+            else:
+                self._flag(
+                    f"attach of {pid} with unknown mechanism {mechanism!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def _check_pin_balance(self) -> None:
+        pins: Dict[Tuple[Any, Any], int] = {}
+        for event in self.events:
+            etype = event.get("type", "")
+            if not etype.startswith("pool."):
+                continue
+            key = (event.get("file"), event.get("block"))
+            if etype == "pool.pin":
+                pins[key] = pins.get(key, 0) + 1
+            elif etype == "pool.unpin":
+                count = pins.get(key, 0) - 1
+                if count < 0:
+                    self._flag(f"unpin of unpinned page {key}")
+                    count = 0
+                pins[key] = count
+            elif etype == "pool.evict":
+                if pins.get(key, 0) > 0:
+                    self._flag(f"pinned page {key} was evicted")
+        leaked = sorted(
+            (key for key, count in pins.items() if count > 0),
+            key=repr,
+        )
+        for key in leaked:
+            self._flag(
+                f"page {key} still pinned at end of trace "
+                f"(count={pins[key]})"
+            )

@@ -1,0 +1,161 @@
+"""Per-query trace views: critical path and wait-time breakdowns.
+
+A :class:`QueryTrace` slices one query's packets out of a full trace and
+answers the questions Figure 1a asks of the paper's profiler: where did
+the time go (queueing vs service, per micro-engine), and which chain of
+packets actually bounded the response time?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class PacketTimeline:
+    """One packet's lifecycle timestamps (None while the event is absent)."""
+
+    packet_id: str
+    engine: str = ""
+    op: str = ""
+    parent: Optional[str] = None
+    children: List[str] = field(default_factory=list)
+    created: Optional[float] = None
+    enqueued: Optional[float] = None
+    dispatched: Optional[float] = None
+    attached: Optional[float] = None
+    completed: Optional[float] = None
+    cancelled: Optional[float] = None
+    host: Optional[str] = None
+    mechanism: Optional[str] = None
+
+    @property
+    def end(self) -> Optional[float]:
+        """When the packet stopped mattering (completion or cancellation)."""
+        if self.completed is not None:
+            return self.completed
+        return self.cancelled
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent queued before a worker picked the packet up."""
+        if self.enqueued is None or self.dispatched is None:
+            return 0.0
+        return self.dispatched - self.enqueued
+
+    @property
+    def service(self) -> float:
+        """Seconds between dispatch and completion (0 for satellites)."""
+        if self.dispatched is None or self.completed is None:
+            return 0.0
+        return self.completed - self.dispatched
+
+
+class QueryTrace:
+    """All packet events of one query, indexed for analysis."""
+
+    def __init__(self, events: Iterable[Dict[str, Any]], query_id: int):
+        self.query_id = query_id
+        self.packets: Dict[str, PacketTimeline] = {}
+        for event in events:
+            etype = event.get("type", "")
+            if not etype.startswith("packet."):
+                continue
+            if event.get("query") != query_id:
+                continue
+            timeline = self.packets.get(event["packet"])
+            if timeline is None:
+                timeline = PacketTimeline(packet_id=event["packet"])
+                self.packets[event["packet"]] = timeline
+            timeline.engine = event["engine"]
+            timeline.op = event["op"]
+            ts = event["ts"]
+            kind = etype.split(".", 1)[1]
+            if kind == "create":
+                timeline.created = ts
+                timeline.parent = event.get("parent")
+            elif kind == "enqueue":
+                timeline.enqueued = ts
+            elif kind == "dispatch":
+                timeline.dispatched = ts
+            elif kind == "attach":
+                timeline.attached = ts
+                timeline.host = event.get("host")
+                timeline.mechanism = event.get("mechanism")
+            elif kind == "complete":
+                timeline.completed = ts
+            elif kind == "cancel":
+                timeline.cancelled = ts
+        for timeline in self.packets.values():
+            if timeline.parent is not None and timeline.parent in self.packets:
+                self.packets[timeline.parent].children.append(
+                    timeline.packet_id
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Optional[PacketTimeline]:
+        """The query's root packet (created first among parentless ones)."""
+        roots = [t for t in self.packets.values() if t.parent is None]
+        if not roots:
+            return None
+        return min(roots, key=lambda t: (t.created or 0.0, t.packet_id))
+
+    def critical_path(self) -> List[PacketTimeline]:
+        """Root-to-leaf chain of packets that bounded the response time.
+
+        From the root downward, always follows the child that finished
+        last (ties broken by packet id for determinism); stops at a
+        packet with no traced children.
+        """
+        path: List[PacketTimeline] = []
+        node = self.root
+        while node is not None:
+            path.append(node)
+            children = [self.packets[c] for c in node.children]
+            children = [c for c in children if c.end is not None]
+            if not children:
+                break
+            node = max(children, key=lambda c: (c.end, c.packet_id))
+        return path
+
+    def wait_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-micro-engine totals of queue wait vs service seconds.
+
+        The Figure 1a-style question: which operators did this query
+        actually spend its life in, and how much of that was waiting for
+        a worker rather than doing work?
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for timeline in self.packets.values():
+            slot = out.setdefault(
+                timeline.engine, {"queue_wait": 0.0, "service": 0.0}
+            )
+            slot["queue_wait"] += timeline.queue_wait
+            slot["service"] += timeline.service
+        return out
+
+    def response_time(self) -> float:
+        """First create to last completion over this query's packets."""
+        starts = [t.created for t in self.packets.values()
+                  if t.created is not None]
+        ends = [t.end for t in self.packets.values() if t.end is not None]
+        if not starts or not ends:
+            return 0.0
+        return max(ends) - min(starts)
+
+    def shared_packets(self) -> List[PacketTimeline]:
+        """Packets this query got for free by attaching to another's."""
+        return [t for t in self.packets.values() if t.attached is not None]
+
+
+def query_ids(events: Iterable[Dict[str, Any]]) -> List[int]:
+    """All query ids appearing in packet events, in first-seen order."""
+    seen: List[int] = []
+    for event in events:
+        if event.get("type", "").startswith("packet."):
+            qid = event.get("query")
+            if qid is not None and qid not in seen:
+                seen.append(qid)
+    return seen

@@ -1,0 +1,168 @@
+"""Structured tracing of packet lifecycles, OSP decisions, and storage.
+
+The tracer records *typed events* with virtual timestamps as the engine
+runs.  Every event is a plain dict with at least ``ts`` (simulation
+seconds) and ``type`` (a dotted name such as ``packet.dispatch`` or
+``pool.hit``); the remaining keys are event-specific and deliberately
+restricted to deterministic values (packet ids, table names, counts --
+never Python object ids), so two identical runs produce byte-identical
+exports.
+
+Event families:
+
+* ``packet.*``  -- create / enqueue / dispatch / attach / cancel /
+  complete, emitted by the dispatcher and the micro-engines.  Attach
+  events carry the sharing *mechanism* (``generic``, ``sort-reemit``,
+  ``mj-split``) plus the window-of-opportunity evidence the decision was
+  based on, which is what :class:`~repro.obs.invariants.InvariantChecker`
+  replays.
+* ``osp.*``     -- coordinator decisions above single packets: circular
+  scan attaches/detaches, rejected merge-join splits, deadlock
+  resolutions.
+* ``pool.*``    -- buffer pool hit / miss / coalesced / evict and the
+  pin / unpin pairs the pin-balance invariant checks.
+* ``proc.*``    -- simulation-kernel process spawn / interrupt.
+
+The :class:`NullTracer` is the default on every
+:class:`~repro.sim.kernel.Simulator`; all of its hooks are no-ops taking
+positional arguments only, so instrumented hot paths (one call per page
+access or per packet transition, never per tuple) allocate nothing when
+tracing is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class NullTracer:
+    """The disabled tracer: every hook is an allocation-free no-op."""
+
+    enabled = False
+
+    # -- packet lifecycle ----------------------------------------------------
+    def packet_create(self, packet) -> None:
+        pass
+
+    def packet_enqueue(self, packet) -> None:
+        pass
+
+    def packet_dispatch(self, packet) -> None:
+        pass
+
+    def packet_complete(self, packet) -> None:
+        pass
+
+    def packet_cancel(self, packet, reason: str) -> None:
+        pass
+
+    def packet_attach(self, packet, host, mechanism: str, **window) -> None:
+        pass
+
+    # -- OSP coordinator decisions ------------------------------------------
+    def osp(self, etype: str, **fields) -> None:
+        pass
+
+    # -- buffer pool ---------------------------------------------------------
+    def pool(self, etype: str, file_id: int, block_no: int) -> None:
+        pass
+
+    # -- simulation kernel ---------------------------------------------------
+    def proc(self, etype: str, name: str) -> None:
+        pass
+
+
+#: The shared disabled tracer every Simulator starts with.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """An enabled tracer accumulating events in memory.
+
+    Args:
+        sim: the simulator whose virtual clock stamps every event.
+            The tracer installs itself as ``sim.tracer``.
+    """
+
+    enabled = True
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.events: List[Dict[str, Any]] = []
+        sim.tracer = self
+
+    def clear(self) -> None:
+        self.events = []
+
+    def __len__(self):
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def event(self, etype: str, **fields) -> None:
+        """Record one raw event at the current virtual time."""
+        record: Dict[str, Any] = {"ts": self.sim.now, "type": etype}
+        record.update(fields)
+        self.events.append(record)
+
+    def _packet(self, etype: str, packet, **extra) -> None:
+        self.event(
+            etype,
+            packet=packet.packet_id,
+            query=packet.query.query_id,
+            engine=packet.engine_name,
+            op=packet.plan.op_name,
+            **extra,
+        )
+
+    # -- packet lifecycle ----------------------------------------------------
+    def packet_create(self, packet) -> None:
+        parent = packet.parent
+        self._packet(
+            "packet.create",
+            packet,
+            parent=parent.packet_id if parent is not None else None,
+        )
+
+    def packet_enqueue(self, packet) -> None:
+        self._packet("packet.enqueue", packet)
+
+    def packet_dispatch(self, packet) -> None:
+        self._packet("packet.dispatch", packet)
+
+    def packet_complete(self, packet) -> None:
+        self._packet(
+            "packet.complete", packet, satellite=packet.host is not None
+        )
+
+    def packet_cancel(self, packet, reason: str) -> None:
+        self._packet("packet.cancel", packet, reason=reason)
+
+    def packet_attach(self, packet, host, mechanism: str, **window) -> None:
+        self._packet(
+            "packet.attach",
+            packet,
+            host=host.packet_id,
+            mechanism=mechanism,
+            **window,
+        )
+
+    # -- OSP coordinator decisions ------------------------------------------
+    def osp(self, etype: str, **fields) -> None:
+        self.event(f"osp.{etype}", **fields)
+
+    # -- buffer pool ---------------------------------------------------------
+    def pool(self, etype: str, file_id: int, block_no: int) -> None:
+        self.events.append(
+            {
+                "ts": self.sim.now,
+                "type": f"pool.{etype}",
+                "file": file_id,
+                "block": block_no,
+            }
+        )
+
+    # -- simulation kernel ---------------------------------------------------
+    def proc(self, etype: str, name: str) -> None:
+        self.events.append(
+            {"ts": self.sim.now, "type": f"proc.{etype}", "name": name}
+        )

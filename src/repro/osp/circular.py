@@ -104,12 +104,21 @@ class CircularScanManager:
             scan.running = True
             scan.consumers.append(consumer)
             self.scans[table] = scan
+            self.sim.tracer.osp(
+                "circular_start", packet=packet.packet_id, table=table
+            )
             self.sim.spawn(self._scanner(scan), name=f"scanner-{table}")
         else:
             # Attach at the scanner's current position; the new
             # termination point is one full cycle from here.
             scan.consumers.append(consumer)
             self.engine.osp_stats.record_attach("fscan-circular", packet)
+            self.sim.tracer.osp(
+                "circular_attach",
+                packet=packet.packet_id,
+                table=table,
+                position=scan.current_page,
+            )
         yield consumer.done
         return True
 
@@ -206,6 +215,13 @@ class CircularScanManager:
         if consumer in scan.consumers:
             scan.consumers.remove(consumer)
         self.engine.osp_stats.scan_detaches += 1
+        self.sim.tracer.osp(
+            "scan_detach",
+            packet=consumer.packet.packet_id,
+            table=scan.table,
+            position=scan.current_page,
+            remaining=consumer.pages_remaining,
+        )
         self.sim.spawn(
             self._catchup(consumer, scan.table, scan.current_page,
                           scan.num_pages),

@@ -81,6 +81,12 @@ class DeadlockDetector:
         if not candidates:
             return None
         victim = min(candidates, key=lambda buf: buf.level)
+        self.sim.tracer.osp(
+            "deadlock_resolved",
+            buffer=victim.name,
+            level=victim.level,
+            cycle_size=len(cycle),
+        )
         victim.materialize()
         self.resolved.append(victim)
         self.engine.osp_stats.deadlocks_resolved += 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.errors import Interrupted, SimulationError, StarvationError
 
 #: Events scheduled with URGENT run before NORMAL ones at the same timestamp.
@@ -243,6 +244,7 @@ class Process(Event):
         """
         if self.triggered:
             return
+        self.sim.tracer.proc("interrupt", self.name)
         self._interrupts.append(Interrupted(cause))
         if self._target is not None:
             self._target.remove_callback(self._resume)
@@ -325,6 +327,9 @@ class Simulator:
         self._seq = 0
         self._crashes: list = []
         self.process_count = 0
+        #: Observability hook; replaced by :class:`repro.obs.Tracer` when
+        #: tracing is on.  The null tracer's hooks are allocation-free.
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -376,7 +381,9 @@ class Simulator:
     def spawn(self, generator: Generator, name: str = "process") -> Process:
         """Start a new process running *generator*."""
         self.process_count += 1
-        return Process(self, generator, name=f"{name}#{self.process_count}")
+        process = Process(self, generator, name=f"{name}#{self.process_count}")
+        self.tracer.proc("spawn", process.name)
+        return process
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing *delay* virtual seconds from now."""

@@ -136,6 +136,7 @@ class BufferPool:
                 payload = None
             else:
                 self.stats.hits += 1
+                self.sim.tracer.pool("hit", file_id, block_no)
                 if ring_owner is not None and not cold:
                     # A non-scan touch promotes the page into the pool.
                     del self._scan_ring[key]
@@ -144,6 +145,7 @@ class BufferPool:
                     self.policy.on_hit(key)
                 if pin:
                     self._pins[key] = self._pins.get(key, 0) + 1
+                    self.sim.tracer.pool("pin", file_id, block_no)
                 yield self.sim.timeout(self.page_hit_cost)
                 return payload
 
@@ -151,6 +153,7 @@ class BufferPool:
         if pending is not None:
             # Someone else is already reading this page: piggyback.
             self.stats.coalesced += 1
+            self.sim.tracer.pool("coalesced", file_id, block_no)
             yield pending
             payload = self._frames.get(key)
             if payload is None:
@@ -164,10 +167,12 @@ class BufferPool:
                 self.policy.on_hit(key)
             if pin:
                 self._pins[key] = self._pins.get(key, 0) + 1
+                self.sim.tracer.pool("pin", file_id, block_no)
             return payload
 
         # Genuine miss: this process performs the read.
         self.stats.misses += 1
+        self.sim.tracer.pool("miss", file_id, block_no)
         done = self.sim.event()
         self._in_flight[key] = done
         try:
@@ -187,6 +192,7 @@ class BufferPool:
             done.succeed()
         if pin:
             self._pins[key] = self._pins.get(key, 0) + 1
+            self.sim.tracer.pool("pin", file_id, block_no)
         return payload
 
     def write_page(self, file_id: int, block_no: int) -> Generator:
@@ -209,6 +215,7 @@ class BufferPool:
             del self._pins[key]
         else:
             self._pins[key] = count - 1
+        self.sim.tracer.pool("unpin", file_id, block_no)
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all frames of a file (used when a temp file is deleted)."""
@@ -216,7 +223,11 @@ class BufferPool:
             del self._frames[key]
             self._scan_ring.pop(key, None)
             self.policy.on_remove(key)
-            self._pins.pop(key, None)
+            # Force-release any pins before the frame goes away so traced
+            # pin/unpin pairs stay balanced even on file drops.
+            for _ in range(self._pins.pop(key, 0)):
+                self.sim.tracer.pool("unpin", key[0], key[1])
+            self.sim.tracer.pool("evict", key[0], key[1])
 
     # ------------------------------------------------------------------
     def _evictable(self, key: Key) -> bool:
@@ -229,6 +240,7 @@ class BufferPool:
             if self._pins.get(victim, 0) == 0 and victim in self._frames:
                 del self._frames[victim]
                 self.stats.evictions += 1
+                self.sim.tracer.pool("evict", victim[0], victim[1])
 
     def _make_room(self) -> None:
         while len(self._frames) >= self.capacity:
@@ -249,3 +261,4 @@ class BufferPool:
                 self.policy.on_remove(victim)
             del self._frames[victim]
             self.stats.evictions += 1
+            self.sim.tracer.pool("evict", victim[0], victim[1])

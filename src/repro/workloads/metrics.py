@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -46,9 +47,14 @@ class WorkloadMetrics:
         return max(r.response_time for r in self.results)
 
     def percentile_response_time(self, q: float) -> float:
-        """The q-quantile (0..1) of response times."""
+        """The q-quantile (0..1) of response times, by nearest rank.
+
+        The nearest-rank definition: the smallest response time r such
+        that at least ``q * n`` of the observations are <= r, i.e. the
+        value at (1-based) rank ``ceil(q * n)``.
+        """
         if not self.results:
             return 0.0
         ordered = sorted(r.response_time for r in self.results)
-        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[idx]

@@ -95,6 +95,35 @@ def test_percentile_response_time():
     )
 
 
+def _metrics_with_times(times):
+    from repro.results import QueryResult
+    from repro.workloads.metrics import WorkloadMetrics
+
+    return WorkloadMetrics(
+        results=[
+            QueryResult(i, [], 0.0, 0.0, t) for i, t in enumerate(times)
+        ]
+    )
+
+
+def test_percentile_nearest_rank_pinned():
+    # Nearest rank: value at 1-based rank ceil(q * n).
+    metrics = _metrics_with_times(
+        [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+    )
+    assert metrics.percentile_response_time(0.50) == 50.0  # rank ceil(5)=5
+    assert metrics.percentile_response_time(0.95) == 100.0  # rank ceil(9.5)=10
+    assert metrics.percentile_response_time(1.00) == 100.0
+    assert metrics.percentile_response_time(0.0) == 10.0
+    # Odd-length list: p50 is the exact middle element.
+    metrics = _metrics_with_times([3.0, 1.0, 2.0])
+    assert metrics.percentile_response_time(0.50) == 2.0
+    assert metrics.percentile_response_time(0.99) == 3.0
+    # Singleton and empty edge cases.
+    assert _metrics_with_times([7.0]).percentile_response_time(0.5) == 7.0
+    assert _metrics_with_times([]).percentile_response_time(0.5) == 0.0
+
+
 def test_mixed_factory_draws_varied_plans():
     factory = mixed_tpch_factory(
         [count_plan, lambda rng: Aggregate(

@@ -132,3 +132,94 @@ def test_osp_on_off_agree_on_random_plans(seed):
     host2, sm2 = build_db()
     without = QPipeEngine(sm2, QPipeConfig(osp_enabled=False)).run_query(plan)
     assert sorted(with_osp) == sorted(without)
+
+
+# ---------------------------------------------------------------------------
+# Differential harness: seeded random Wisconsin SQL through all engines
+# ---------------------------------------------------------------------------
+from repro.sql import plan as sql_plan  # noqa: E402
+from repro.workloads.wisconsin import WisconsinScale, load_wisconsin  # noqa: E402
+
+DIFFERENTIAL_SEEDS = list(range(30))
+
+
+def build_wisconsin_db():
+    host = Host(HostConfig())
+    sm = StorageManager(host, buffer_pages=64)
+    load_wisconsin(sm, WisconsinScale(big_rows=300), seed=7)
+    return host, sm
+
+
+def random_wisconsin_sql(seed: int) -> str:
+    """One random (but deterministic per seed) Wisconsin-style query.
+
+    Every ORDER BY key below is unique per row/group, so LIMIT results
+    are well-defined and comparable across engines.
+    """
+    rng = random.Random(seed)
+    big = rng.choice(["big1", "big2"])
+    k = rng.randrange(50, 280)
+    a = rng.randrange(0, 150)
+    b = a + rng.randrange(20, 120)
+    d = rng.randrange(10)
+    templates = [
+        f"SELECT onepercent, COUNT(*) AS n, SUM(unique1) AS s FROM {big} "
+        f"WHERE unique1 < {k} GROUP BY onepercent ORDER BY onepercent",
+        f"SELECT unique1, unique2 FROM {big} "
+        f"WHERE unique1 BETWEEN {a} AND {b} ORDER BY unique1",
+        f"SELECT DISTINCT ten FROM {big} WHERE unique1 < {k}",
+        f"SELECT COUNT(*) AS n FROM {big} "
+        f"JOIN small ON {big}.unique1 = small.unique1 "
+        f"WHERE {big}.unique1 < {k}",
+        f"SELECT four, MIN(unique1) AS lo, MAX(unique1) AS hi FROM {big} "
+        f"WHERE unique1 >= {a} GROUP BY four ORDER BY four",
+        f"SELECT unique2 FROM small WHERE tenpercent = {d} "
+        f"ORDER BY unique2 LIMIT 10",
+    ]
+    return templates[rng.randrange(len(templates))]
+
+
+def _run_concurrent(host, engine, plans, stagger: float = 0.0):
+    """Submit all *plans* with small staggers so OSP can share work."""
+    procs = []
+
+    def client(p, delay):
+        yield host.sim.timeout(delay)
+        result = yield from engine.execute(p)
+        return result
+
+    for i, p in enumerate(plans):
+        procs.append(host.sim.spawn(client(p, i * stagger), name=f"dq{i}"))
+    host.sim.run_until_done(procs)
+    return [proc.value.rows for proc in procs]
+
+
+def test_differential_wisconsin_sql():
+    """~30 seeded random SQL queries agree across baseline, QPipe with
+    sharing off, and QPipe with sharing on (submitted concurrently)."""
+    queries = {seed: random_wisconsin_sql(seed) for seed in DIFFERENTIAL_SEEDS}
+
+    host_ref, sm_ref = build_wisconsin_db()
+    ref_engine = IteratorEngine(sm_ref)
+    reference = {
+        seed: sorted(ref_engine.run_query(sql_plan(sql, sm_ref.catalog)))
+        for seed, sql in queries.items()
+    }
+
+    host_off, sm_off = build_wisconsin_db()
+    engine_off = QPipeEngine(sm_off, QPipeConfig(osp_enabled=False))
+    for seed, sql in queries.items():
+        got = sorted(engine_off.run_query(sql_plan(sql, sm_off.catalog)))
+        assert got == reference[seed], f"OSP-off mismatch seed {seed}: {sql}"
+
+    host_on, sm_on = build_wisconsin_db()
+    engine_on = QPipeEngine(sm_on, QPipeConfig(osp_enabled=True))
+    compiled = [sql_plan(sql, sm_on.catalog) for sql in queries.values()]
+    all_rows = _run_concurrent(host_on, engine_on, compiled)
+    for (seed, sql), rows in zip(queries.items(), all_rows):
+        assert sorted(rows) == reference[seed], (
+            f"OSP-on mismatch seed {seed}: {sql}"
+        )
+    # The concurrent submission must actually have exercised sharing.
+    stats = engine_on.osp_stats
+    assert stats.attaches or stats.shared_page_deliveries

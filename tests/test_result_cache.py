@@ -73,6 +73,77 @@ def test_negative_capacity_rejected():
         ResultCache(-1)
 
 
+def test_eviction_cascade_under_capacity_pressure():
+    """One oversized arrival may evict several older entries, and the
+    row accounting must stay exact throughout."""
+    cache = ResultCache(capacity_rows=6)
+    cache.store("a", TableScan("r"), [(1,), (2,), (3,)])
+    cache.store("b", TableScan("r"), [(4,), (5,), (6,)])
+    assert cache._rows_cached == 6
+    # 6 new rows force out both 'a' and 'b' (oldest first).
+    cache.store("c", TableScan("r"), [(i,) for i in range(6)])
+    assert cache.lookup("a") is None
+    assert cache.lookup("b") is None
+    assert cache.lookup("c") is not None
+    assert cache.stats.evictions == 2
+    assert cache._rows_cached == 6
+
+
+def test_lru_order_updated_by_lookup():
+    """A lookup refreshes recency, changing who gets evicted."""
+    cache = ResultCache(capacity_rows=4)
+    cache.store("a", TableScan("r"), [(1,), (2,)])
+    cache.store("b", TableScan("r"), [(3,), (4,)])
+    assert cache.lookup("a") is not None  # 'b' becomes least-recent
+    cache.store("c", TableScan("r"), [(5,), (6,)])
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+
+
+def test_duplicate_store_keeps_original_and_row_count():
+    cache = ResultCache(capacity_rows=10)
+    cache.store("a", TableScan("r"), [(1,)])
+    cache.store("a", TableScan("r"), [(2,), (3,)])
+    assert cache.lookup("a") == [(1,)]
+    assert cache._rows_cached == 1
+
+
+def test_hit_after_invalidation_requires_restore():
+    """Invalidation makes the next lookup a miss; only a fresh store
+    makes the signature hit again."""
+    cache = ResultCache(capacity_rows=10)
+    plan = TableScan("r")
+    sig = "count-r"
+    cache.store(sig, plan, [(42,)])
+    assert cache.lookup(sig) == [(42,)]
+    assert cache.invalidate_table("r") == 1
+    assert cache.lookup(sig) is None
+    assert cache.stats.misses == 1
+    assert cache._rows_cached == 0
+    cache.store(sig, plan, [(43,)])
+    assert cache.lookup(sig) == [(43,)]
+    assert cache.stats.hits == 2
+
+
+def test_invalidating_unknown_table_is_a_no_op():
+    cache = ResultCache(capacity_rows=10)
+    cache.store("a", TableScan("r"), [(1,)])
+    assert cache.invalidate_table("nope") == 0
+    assert cache.lookup("a") == [(1,)]
+
+
+def test_clear_resets_rows_accounting():
+    cache = ResultCache(capacity_rows=4)
+    cache.store("a", TableScan("r"), [(1,), (2,)])
+    cache.clear()
+    assert len(cache) == 0
+    assert cache._rows_cached == 0
+    # Full capacity is available again after the clear.
+    cache.store("b", TableScan("r"), [(i,) for i in range(4)])
+    assert cache.lookup("b") is not None
+    assert cache.stats.evictions == 0
+
+
 # ---------------------------------------------------------------------------
 # Engine level
 # ---------------------------------------------------------------------------
