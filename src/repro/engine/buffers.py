@@ -18,7 +18,15 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
-from repro.sim import AnyOf, Channel, ChannelClosed, Gate, Lock, Simulator
+from repro.sim import (
+    AnyOf,
+    Channel,
+    ChannelClosed,
+    Gate,
+    Interrupted,
+    Lock,
+    Simulator,
+)
 
 #: Marker batch separating two ordered segments in one stream, used by
 #: the section 4.3.2 order-sensitive scan strategy: the merge-join sees
@@ -53,6 +61,14 @@ class TupleBuffer:
         self._gate = Gate(sim)
         self.tuples_in = 0
         self.tuples_out = 0
+        #: Tuples to silently drop from the front of the stream.  After a
+        #: host crash a rescued satellite's subtree re-executes from
+        #: scratch; the prefix its consumer already received (exactly
+        #: ``tuples_in`` at detach time) is consumed here instead of
+        #: being delivered twice.  ``tuples_in`` keeps counting in
+        #: *logical stream* positions, so a second crash recomputes a
+        #: correct skip.
+        self.skip_tuples = 0
 
     # -- producer side ----------------------------------------------------
     def wait_activated(self) -> Generator:
@@ -72,16 +88,41 @@ class TupleBuffer:
         """
         if not batch:
             return
+        batch = self._consume_skip(batch)
+        if not batch:
+            return
         capacity = self._channel.capacity
         if capacity != float("inf") and len(batch) > capacity:
             step = max(1, int(capacity))
             for start in range(0, len(batch), step):
                 yield from self.put(batch[start:start + step])
             return
+        accept = self._channel.put(batch, size=len(batch), owner=self.producer)
+        try:
+            yield accept
+        except Interrupted:
+            # Exact accounting: if the batch slipped in before the
+            # interrupt landed it will reach the consumer and must
+            # count; a still-pending one is withdrawn and must not.
+            if not self._channel.cancel_put(accept) and accept.triggered and accept.ok:
+                self.tuples_in += len(batch)
+            raise
         self.tuples_in += len(batch)
-        yield self._channel.put(batch, size=len(batch), owner=self.producer)
+
+    def _consume_skip(self, batch: List[tuple]) -> List[tuple]:
+        if self.skip_tuples <= 0 or batch is SEGMENT_BOUNDARY:
+            return batch
+        if len(batch) <= self.skip_tuples:
+            self.skip_tuples -= len(batch)
+            return []
+        batch = batch[self.skip_tuples:]
+        self.skip_tuples = 0
+        return batch
 
     def try_put(self, batch: List[tuple]) -> bool:
+        if not batch:
+            return True
+        batch = self._consume_skip(batch)
         if not batch:
             return True
         ok = self._channel.try_put(batch, size=len(batch))
@@ -106,6 +147,9 @@ class TupleBuffer:
         """
         if not batch:
             return True
+        batch = self._consume_skip(batch)
+        if not batch:
+            return True
         if len(batch) > self._channel.capacity:
             # Cannot be withdrawn atomically; fall back to blocking put.
             yield from self.put(batch)
@@ -113,7 +157,19 @@ class TupleBuffer:
         accept = self._channel.put(batch, size=len(batch), owner=self.producer)
         if not accept.triggered:
             deadline = self.sim.timeout(patience)
-            yield AnyOf(self.sim, [accept, deadline])
+            try:
+                yield AnyOf(self.sim, [accept, deadline])
+            except Interrupted:
+                # A crashed scanner must not leave its page pending in
+                # the channel: withdraw it (or count it if it slipped in)
+                # so restart-time delivery stays exactly-once.
+                if (
+                    not self._channel.cancel_put(accept)
+                    and accept.triggered
+                    and accept.ok
+                ):
+                    self.tuples_in += len(batch)
+                raise
             if not accept.triggered:
                 self._channel.cancel_put(accept)
                 return False
@@ -284,6 +340,19 @@ class FanOut:
     def detach(self, buffer: TupleBuffer) -> None:
         if buffer in self.buffers:
             self.buffers.remove(buffer)
+
+    def reset_replay(self) -> None:
+        """Forget all replay/progress state.
+
+        Called when a rescued satellite is promoted to drive this
+        fan-out with a fresh producer: the new producer restarts the
+        stream from tuple zero, so the old ring and counters would
+        corrupt later attach (window-of-opportunity) decisions.
+        """
+        self._ring = []
+        self._ring_size = 0
+        self.total_tuples = 0
+        self.dropped_from_ring = False
 
     def close(self) -> None:
         self.closed = True

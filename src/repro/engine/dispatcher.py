@@ -171,6 +171,68 @@ class PacketDispatcher:
         return pages
 
     # ------------------------------------------------------------------
+    def redispatch(self, packet: Packet) -> None:
+        """Detach a satellite whose host died and re-execute it privately.
+
+        The satellite's subtree was cancelled when it attached (Figure
+        6b), so a fresh one is rebuilt from its plan.  The tuples its
+        consumer already received -- exactly ``tuples_in`` on its primary
+        buffer -- are skipped by the rebuilt producer.  Skip-by-count is
+        only sound when the re-execution emits tuples in the same
+        canonical order, so a non-zero skip forbids sharing (no generic
+        attach, no mid-file circular scans) for the rebuilt subtree.
+        """
+        if packet.state is not PacketState.SATELLITE:
+            return
+        sim = self.engine.sim
+        query = packet.query
+        buffer = packet.primary_output
+        host = packet.host
+        if host is not None and host.output is not None:
+            # Out of the dying host's fan-out before its close sweeps us.
+            host.output.detach(buffer)
+        if host is not None and packet in host.satellites:
+            host.satellites.remove(packet)
+        proc = packet.attach_proc
+        if proc is not None and proc.alive:
+            proc.interrupt("host died; satellite redispatched")
+        packet.attach_proc = None
+        packet.host = None
+        if query.aborted or buffer.closed:
+            # Nobody is waiting for these tuples any more.
+            packet.state = PacketState.CANCELLED
+            sim.tracer.packet_cancel(packet, "host died; consumer gone")
+            if packet.output is not None:
+                packet.output.close()
+            return
+        skip = buffer.tuples_in
+        sim.tracer.packet_detach(packet, f"host died; re-executing skip={skip}")
+        buffer.skip_tuples = skip
+        packet.output.reset_replay()
+        packet.state = PacketState.CREATED
+        packet.phase = "pending"
+        packet.worker = None
+        packet.no_share = skip > 0
+        if packet.no_share:
+            packet.artifacts.pop("mj_split", None)
+        packet.children = []
+        packet.inputs = []
+        for child in packet.plan.children:
+            child_packet = self.build_subtree(
+                query,
+                child,
+                parent=packet,
+                parent_order_insensitive=self._accepts_any_order(packet.plan),
+            )
+            packet.children.append(child_packet)
+            packet.inputs.append(child_packet.primary_output)
+        if packet.no_share:
+            for descendant in packet.descendants():
+                descendant.no_share = True
+                descendant.artifacts.pop("mj_split", None)
+        self.enqueue_tree(packet)
+
+    # ------------------------------------------------------------------
     def enqueue_tree(self, root: Packet) -> None:
         """Enqueue packets top-down so OSP attaches prune whole subtrees
         before any child starts running."""

@@ -27,6 +27,7 @@ from typing import Generator, List, Tuple
 from repro.engine.buffers import TupleBuffer
 from repro.engine.micro_engine import MicroEngine
 from repro.engine.packets import Packet, PacketState
+from repro.faults.errors import FaultError
 from repro.sim import ChannelClosed
 
 
@@ -250,6 +251,8 @@ class IScanEngine(MicroEngine):
             return False
 
         packet.state = PacketState.SATELLITE
+        # Completed by its own split-relay process, not the host's sweeps.
+        packet.self_serving = True
         packet.host = host
         host.satellites.append(packet)
         self.sim.tracer.packet_attach(
@@ -323,6 +326,9 @@ class IScanEngine(MicroEngine):
                 )
         except ChannelClosed:
             pass
+        except FaultError as exc:
+            if not packet.query.aborted:
+                self.engine.abort_query(packet.query, str(exc), exc)
         finally:
             out.close()
             if packet.state is PacketState.SATELLITE:

@@ -136,7 +136,7 @@ class UpdateEngine(MicroEngine):
 
     def _insert(self, packet: Packet, plan: InsertRows) -> Generator:
         sm = self.engine.sm
-        owner = ("q", packet.query.query_id, id(packet))
+        owner = ("q", packet.query.query_id, packet.packet_id)
         packet.phase = "lock"
         yield sm.locks.acquire(owner, plan.table, LockMode.EXCLUSIVE)
         packet.phase = "write"
@@ -144,12 +144,13 @@ class UpdateEngine(MicroEngine):
             for row in plan.rows:
                 yield from sm.insert_row(plan.table, row)
         finally:
-            sm.locks.release(owner, plan.table)
+            # Tolerant: the abort path's lock sweep may get here first.
+            sm.locks.release_if_held(owner, plan.table)
         yield from packet.output.put([(len(plan.rows),)])
 
     def _delete(self, packet: Packet, plan: DeleteRows) -> Generator:
         sm = self.engine.sm
-        owner = ("q", packet.query.query_id, id(packet))
+        owner = ("q", packet.query.query_id, packet.packet_id)
         schema = sm.catalog.table_schema(plan.table)
         pred = plan.predicate.bind(schema) if plan.predicate else None
         packet.phase = "lock"
@@ -165,12 +166,12 @@ class UpdateEngine(MicroEngine):
                         yield from sm.delete_row(plan.table, RID(block, slot))
                         removed += 1
         finally:
-            sm.locks.release(owner, plan.table)
+            sm.locks.release_if_held(owner, plan.table)
         yield from packet.output.put([(removed,)])
 
     def _update(self, packet: Packet, plan: UpdateRows) -> Generator:
         sm = self.engine.sm
-        owner = ("q", packet.query.query_id, id(packet))
+        owner = ("q", packet.query.query_id, packet.packet_id)
         schema = sm.catalog.table_schema(plan.table)
         pred = plan.predicate.bind(schema) if plan.predicate else None
         packet.phase = "lock"
@@ -188,5 +189,5 @@ class UpdateEngine(MicroEngine):
                         )
                         changed += 1
         finally:
-            sm.locks.release(owner, plan.table)
+            sm.locks.release_if_held(owner, plan.table)
         yield from packet.output.put([(changed,)])

@@ -49,7 +49,11 @@ class FScanEngine(MicroEngine):
 
     def serve(self, packet: Packet) -> Generator:
         packet.phase = "scan"
-        if self.engine.osp_enabled and not packet.plan.ordered:
+        if (
+            self.engine.osp_enabled
+            and not packet.plan.ordered
+            and not packet.no_share
+        ):
             attached = yield from self.circular.serve(packet)
             if attached:
                 return
@@ -65,7 +69,7 @@ class FScanEngine(MicroEngine):
             base.projector(plan.project) if plan.project is not None else None
         )
         # Section 4.3.4: a scan waits while the table is locked for writing.
-        owner = ("scan", packet.query.query_id, id(packet))
+        owner = ("scan", packet.query.query_id, packet.packet_id)
         yield sm.locks.acquire(owner, plan.table, LockMode.SHARED)
         try:
             for block in range(sm.num_pages(plan.table)):
@@ -81,4 +85,5 @@ class FScanEngine(MicroEngine):
                 if rows:
                     yield from packet.output.put(rows)
         finally:
-            sm.locks.release(owner, plan.table)
+            # Tolerant: the abort path's lock sweep may get here first.
+            sm.locks.release_if_held(owner, plan.table)

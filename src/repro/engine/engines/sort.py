@@ -15,6 +15,7 @@ from typing import Generator, List
 
 from repro.engine.micro_engine import MicroEngine
 from repro.engine.packets import Packet, PacketState
+from repro.faults.errors import FaultError
 
 EMIT_BATCH = 1024
 
@@ -142,6 +143,8 @@ class SortEngine(MicroEngine):
                 continue
             # Emit phase: re-emit the materialised result from the start.
             packet.state = PacketState.SATELLITE
+            # Completed by its own re-emit process, not the host's sweeps.
+            packet.self_serving = True
             packet.host = host
             host.satellites.append(packet)
             self.sim.tracer.packet_attach(
@@ -162,6 +165,9 @@ class SortEngine(MicroEngine):
             yield from self.charge(packet, len(result))
             for start in range(0, len(result), EMIT_BATCH):
                 yield from out.put(result[start:start + EMIT_BATCH])
+        except FaultError as exc:
+            if not packet.query.aborted:
+                self.engine.abort_query(packet.query, str(exc), exc)
         finally:
             out.close()
             if packet.state is PacketState.SATELLITE:

@@ -28,6 +28,7 @@ from typing import Generator, List, Optional
 
 from repro.engine.buffers import FanOut, TupleBuffer
 from repro.engine.packets import Packet, PacketState
+from repro.faults.errors import FaultError
 from repro.sim import Channel, ChannelClosed, Interrupted
 
 
@@ -61,9 +62,13 @@ class MicroEngine:
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> None:
         """Queue *packet*, first giving OSP a chance to attach it."""
-        if packet.state is PacketState.CANCELLED:
+        if packet.state is PacketState.CANCELLED or packet.query.aborted:
             return
-        if self.engine.osp_enabled and self.try_share(packet):
+        if (
+            self.engine.osp_enabled
+            and not packet.no_share
+            and self.try_share(packet)
+        ):
             self.packets_shared += 1
             self.engine.osp_stats.record_attach(self.name, packet)
             return
@@ -75,8 +80,8 @@ class MicroEngine:
     def _worker_loop(self, index: int) -> Generator:
         while True:
             packet = yield self.queue.get()
-            if packet.state is not PacketState.QUEUED:
-                continue  # cancelled or attached while waiting
+            if packet.state is not PacketState.QUEUED or packet.query.aborted:
+                continue  # cancelled, attached, or aborted while waiting
             packet.state = PacketState.RUNNING
             # Expose this worker's process so cancel_subtree can interrupt.
             packet.worker = self._worker_procs[index]
@@ -88,6 +93,15 @@ class MicroEngine:
                 # Cancellation by the OSP coordinator: clean up quietly.
                 if packet.output is not None:
                     packet.output.close()
+            except FaultError as exc:
+                # An operator-level fault fails this *query*, not the
+                # simulation: tear the query down and keep serving.
+                if packet.output is not None:
+                    packet.output.close()
+                # Detach ourselves first so the teardown's interrupt
+                # sweep does not kill this pool worker.
+                packet.worker = None
+                self.engine.abort_query(packet.query, str(exc), exc)
             finally:
                 packet.worker = None
                 if packet in self.active:
@@ -95,14 +109,40 @@ class MicroEngine:
                 if packet.state is PacketState.RUNNING:
                     packet.state = PacketState.DONE
                     self.sim.tracer.packet_complete(packet)
+                    self._complete_satellites(packet)
 
     def _serve_wrapper(self, packet: Packet) -> Generator:
         try:
             yield from self.serve(packet)
+        except (FaultError, Interrupted):
+            # The host is dying with incomplete output.  Its satellites
+            # must be detached into private re-executions *before* the
+            # finally below closes the fan-out, or they would see a
+            # premature EOF and silently return truncated results.
+            self._rescue_satellites(packet)
+            raise
         finally:
             if packet.output is not None and not packet.output.closed:
                 packet.output.close()
             self._release_inputs(packet)
+
+    def _rescue_satellites(self, packet: Packet) -> None:
+        """Redispatch every generic satellite of a dying host."""
+        for sat in list(packet.satellites):
+            if sat.state is PacketState.SATELLITE and not sat.self_serving:
+                self.engine.dispatcher.redispatch(sat)
+
+    def _complete_satellites(self, packet: Packet) -> None:
+        """Mark a completed host's remaining generic satellites done.
+
+        Self-serving satellites (sort re-emit, mj-split) complete from
+        their own processes; the exactly-once guarantee is the SATELLITE
+        state check here and there.
+        """
+        for sat in list(packet.satellites):
+            if sat.state is PacketState.SATELLITE and not sat.self_serving:
+                sat.state = PacketState.DONE
+                self.sim.tracer.packet_complete(sat)
 
     @staticmethod
     def _release_inputs(packet: Packet) -> None:
@@ -158,6 +198,8 @@ class MicroEngine:
         for host in self.active:
             if host is packet or host.query is packet.query:
                 continue
+            if host.query.aborted:
+                continue
             if host.signature != packet.signature:
                 continue
             if not self.can_attach(host, packet):
@@ -190,7 +232,7 @@ class MicroEngine:
             can_replay=host.output.can_replay(),
         )
         packet.cancel_subtree()
-        self.sim.spawn(
+        packet.attach_proc = self.sim.spawn(
             self._attach_proc(host, packet),
             name=f"{self.name}-attach",
         )
@@ -200,7 +242,10 @@ class MicroEngine:
             yield from host.output.attach(packet.primary_output, replay=True)
         except ChannelClosed:
             packet.primary_output.close()
-        if host.output.closed:
+        if host.output.closed and packet.state is PacketState.SATELLITE:
+            # Still a satellite (not redispatched after a host crash, not
+            # cancelled by its own query's abort): the host's completed
+            # output is this packet's completed output.
             packet.state = PacketState.DONE
             self.sim.tracer.packet_complete(packet)
 

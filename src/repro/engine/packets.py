@@ -40,6 +40,18 @@ class QueryContext:
     submitted_at: float = 0.0
     packets: List["Packet"] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    #: The owning QPipeEngine (None in unit tests that fake the context);
+    #: abort paths use it to rescue satellites and sweep locks.
+    engine: Any = None
+    #: Abort state: set exactly once by QPipeEngine.abort_query.
+    aborted: bool = False
+    abort_reason: Optional[str] = None
+    #: The originating failure (a FaultError), re-raised to the client.
+    failure: Optional[BaseException] = None
+    #: Virtual-time deadline; the engine aborts the query past it.
+    deadline: Optional[float] = None
+    #: Set when execute() returns/raises; stops the deadline watchdog.
+    finished: bool = False
 
     def cpu(self, tuples: int, factor: float = 1.0) -> Generator:
         """Coroutine: charge CPU for processing *tuples* tuples."""
@@ -81,6 +93,20 @@ class Packet:
     #: Artifacts a host retains for late satellites (e.g. the sorted
     #: result a Sort keeps so phase-2 arrivals can re-emit it).
     artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: Forbid sharing for this packet (no try_share, no circular attach).
+    #: Set on subtrees rebuilt after a host crash when a delivered-tuple
+    #: prefix must be skipped: skip-by-count is only sound when the
+    #: re-execution produces tuples in the same canonical order, which a
+    #: mid-file circular attach would not.
+    no_share: bool = False
+    #: Satellite is served by its own process (sort-reemit, mj-split)
+    #: rather than by the host's delivery loop; host-side completion and
+    #: rescue sweeps must leave it alone.
+    self_serving: bool = False
+    #: The generic-attach delivery process feeding this satellite's
+    #: buffer from the host fan-out; redispatch interrupts it so a
+    #: half-finished replay cannot race the private re-execution.
+    attach_proc: Any = None
 
     @property
     def active(self) -> bool:
@@ -107,9 +133,16 @@ class Packet:
         so nothing blocks forever.
         """
         tracer = self.query.sm.sim.tracer
+        engine = self.query.engine
         for packet in self.descendants():
             if packet.state in (PacketState.DONE, PacketState.CANCELLED):
                 continue
+            # Other queries' satellites riding this packet must not die
+            # with it: detach them into private re-executions first.
+            if engine is not None:
+                for sat in list(packet.satellites):
+                    if sat.state is PacketState.SATELLITE and not sat.self_serving:
+                        engine.dispatcher.redispatch(sat)
             packet.state = PacketState.CANCELLED
             tracer.packet_cancel(packet, "subtree cancelled")
             if packet.worker is not None and packet.worker.alive:

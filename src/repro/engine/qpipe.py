@@ -14,13 +14,15 @@ with OSP disabled").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.engine.buffers import SEGMENT_BOUNDARY, TupleBuffer
 from repro.engine.dispatcher import PacketDispatcher
 from repro.engine.engines import build_engines
-from repro.engine.packets import QueryContext
+from repro.engine.packets import PacketState, QueryContext
 from repro.engine.result_cache import ResultCache
+from repro.faults.errors import FaultError, QueryAborted
+from repro.sim.errors import Interrupted
 from repro.osp.deadlock import DeadlockDetector
 from repro.osp.stats import OspStats
 from repro.relational.plans import PlanNode
@@ -93,6 +95,9 @@ class QPipeEngine:
         self._next_query_id = 0
         self.active_queries = 0
         self.queries_completed = 0
+        self.queries_aborted = 0
+        #: Currently executing queries by id (fault injection targets).
+        self._active: Dict[int, QueryContext] = {}
         self.result_cache = ResultCache(self.config.result_cache_rows)
 
     @property
@@ -113,9 +118,19 @@ class QPipeEngine:
     # Query lifecycle
     # ------------------------------------------------------------------
     def execute(
-        self, plan: PlanNode, query_id: Optional[int] = None
+        self,
+        plan: PlanNode,
+        query_id: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> Generator:
-        """Coroutine: run *plan* to completion; returns a QueryResult."""
+        """Coroutine: run *plan* to completion; returns a QueryResult.
+
+        *deadline* is a virtual-time budget in seconds from submission;
+        past it the engine aborts the query (:exc:`QueryAborted`).  Any
+        abort -- deadline, injected fault, client interrupt -- tears the
+        packet tree down, closes its buffers, and reclaims every pin and
+        table lock before the error surfaces here.
+        """
         if query_id is None:
             self._next_query_id += 1
             query_id = self._next_query_id
@@ -139,9 +154,16 @@ class QPipeEngine:
             host_machine=self.host,
             work_mem_tuples=self.config.work_mem_tuples,
             submitted_at=self.sim.now,
+            engine=self,
+            deadline=deadline,
         )
         self.active_queries += 1
+        self._active[query_id] = query
         self.deadlock_detector.ensure_running()
+        if deadline is not None:
+            self.sim.spawn(
+                self._deadline_watch(query), name=f"deadline-q{query_id}"
+            )
         try:
             root = self.dispatcher.dispatch(query)
             rows: List[tuple] = []
@@ -152,9 +174,28 @@ class QPipeEngine:
                 if batch is SEGMENT_BOUNDARY:
                     continue
                 rows.extend(batch)
+        except BaseException as exc:
+            if not query.aborted:
+                if isinstance(exc, Interrupted):
+                    # The client process died (disconnect): clean up the
+                    # server side before letting the interrupt unwind.
+                    self.abort_query(query, "client disconnected")
+                else:
+                    self.abort_query(
+                        query,
+                        type(exc).__name__,
+                        exc if isinstance(exc, FaultError) else None,
+                    )
+            raise
         finally:
+            query.finished = True
+            self._active.pop(query_id, None)
             self.active_queries -= 1
             self.queries_completed += 1
+        if query.aborted:
+            raise query.failure or QueryAborted(
+                query_id, query.abort_reason or "aborted"
+            )
         if not any(
             node.op_name == "update" for node in _walk(plan)
         ):
@@ -166,6 +207,91 @@ class QPipeEngine:
             started_at=query.submitted_at,
             finished_at=self.sim.now,
         )
+
+    # ------------------------------------------------------------------
+    # Abort / cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, query_id: int, reason: str = "cancelled") -> bool:
+        """Explicitly cancel a running query; returns False if unknown."""
+        query = self._active.get(query_id)
+        if query is None or query.aborted:
+            return False
+        self.abort_query(query, reason)
+        return True
+
+    def abort_query(self, query, reason: str, failure=None) -> None:
+        """Tear one query down: exactly-once, isolation-preserving.
+
+        Ordering matters: (1) other queries' satellites riding this
+        query's packets are detached into private re-executions *before*
+        any buffer closes under them; (2) this query's own satellite
+        packets are cancelled and removed from their hosts; (3) the
+        packet tree is cancelled root-down, interrupting workers and
+        closing buffers so every consumer sees EOF; (4) a delay-0 sweep
+        reclaims all the query's table locks after the interrupts have
+        run their cleanup.
+        """
+        if query.aborted:
+            return
+        query.aborted = True
+        query.abort_reason = reason
+        if failure is not None:
+            query.failure = failure
+        self.queries_aborted += 1
+        self.sim.tracer.query_abort(query, reason)
+
+        for packet in query.packets:
+            for sat in list(packet.satellites):
+                if (
+                    sat.query is not query
+                    and sat.state is PacketState.SATELLITE
+                    and not sat.self_serving
+                ):
+                    self.dispatcher.redispatch(sat)
+
+        for packet in query.packets:
+            if packet.state is PacketState.SATELLITE:
+                packet.state = PacketState.CANCELLED
+                self.sim.tracer.packet_cancel(packet, f"query aborted: {reason}")
+                host = packet.host
+                if host is not None and packet in host.satellites:
+                    host.satellites.remove(packet)
+                if packet.output is not None:
+                    packet.output.close()
+
+        root = query.packets[0] if query.packets else None
+        if root is not None:
+            root.cancel_subtree()
+            if root.state not in (PacketState.DONE, PacketState.CANCELLED):
+                root.state = PacketState.CANCELLED
+                self.sim.tracer.packet_cancel(root, f"query aborted: {reason}")
+                if root.worker is not None and root.worker.alive:
+                    root.worker.interrupt(f"query aborted: {reason}")
+                    root.worker = None
+                if root.output is not None:
+                    root.output.close()
+
+        # Interrupted workers release their own locks via finally blocks
+        # (tolerantly); this sweep catches whatever they could not.  It
+        # runs at delay 0 so the URGENT interrupt deliveries go first.
+        self.sim.schedule(0.0, self._reclaim_locks, query)
+
+    def _reclaim_locks(self, query) -> None:
+        qid = query.query_id
+        self.sm.locks.release_where(
+            lambda owner: isinstance(owner, tuple)
+            and len(owner) >= 2
+            and owner[0] in ("q", "scan")
+            and owner[1] == qid
+        )
+
+    def _deadline_watch(self, query) -> Generator:
+        delay = max(0.0, query.deadline - self.sim.now)
+        yield self.sim.timeout(delay)
+        if not query.finished and not query.aborted:
+            self.abort_query(
+                query, f"deadline of {query.deadline:.3f}s exceeded"
+            )
 
     def run_query(self, plan: PlanNode) -> List[tuple]:
         """Convenience: spawn, run the clock, return the rows (tests)."""

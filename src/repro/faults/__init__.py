@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the QPipe reproduction.
+
+Faults are declared in virtual time via :class:`FaultPlan` and armed
+against a live engine by :class:`FaultInjector`; everything downstream
+(retry, abort, OSP failure isolation) keys off the typed errors in
+:mod:`repro.faults.errors`.
+"""
+
+from repro.faults.errors import (
+    DiskReadError,
+    FaultError,
+    PageCorruptError,
+    QueryAborted,
+)
+from repro.faults.injector import FaultAction, FaultInjector
+from repro.faults.plan import DiskFault, FaultPlan, ProcessFault, random_plan
+
+__all__ = [
+    "DiskFault",
+    "DiskReadError",
+    "FaultAction",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "PageCorruptError",
+    "ProcessFault",
+    "QueryAborted",
+    "random_plan",
+]

@@ -1,0 +1,64 @@
+"""Typed fault and abort errors.
+
+Every failure the fault-injection subsystem can surface is a subclass of
+:class:`FaultError`, so engine code distinguishes *injected/operational*
+failures (retry, abort, isolate) from programming errors (crash the
+simulation).  The ``transient`` flag drives the storage layer's bounded
+retry: transient faults are worth retrying in virtual time, permanent
+ones (dead block, corrupt page that stays corrupt) are not.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import SimulationError
+
+
+class FaultError(SimulationError):
+    """Base class for injected/operational failures.
+
+    Attributes:
+        transient: whether a bounded retry may succeed.
+    """
+
+    transient = False
+
+
+class DiskReadError(FaultError):
+    """A disk read failed (media error, controller timeout, ...)."""
+
+    def __init__(self, file_id: int, block_no: int, transient: bool = True):
+        self.file_id = file_id
+        self.block_no = block_no
+        self.transient = transient
+        flavor = "transient" if transient else "permanent"
+        super().__init__(
+            f"{flavor} read error on block ({file_id}, {block_no})"
+        )
+
+
+class PageCorruptError(FaultError):
+    """A page failed its checksum after a read."""
+
+    def __init__(self, file_id: int, block_no: int, transient: bool = False):
+        self.file_id = file_id
+        self.block_no = block_no
+        self.transient = transient
+        flavor = "transient" if transient else "permanent"
+        super().__init__(
+            f"{flavor} checksum failure on page ({file_id}, {block_no})"
+        )
+
+
+class QueryAborted(FaultError):
+    """A query was aborted (fault, deadline, cancellation, disconnect).
+
+    Raised out of :meth:`QPipeEngine.execute` after the engine has torn
+    the packet tree down and reclaimed the query's resources.
+    """
+
+    transient = False
+
+    def __init__(self, query_id: int, reason: str = "aborted"):
+        self.query_id = query_id
+        self.reason = reason
+        super().__init__(f"query {query_id} aborted: {reason}")

@@ -1,0 +1,212 @@
+"""The fault-schedule DSL.
+
+A :class:`FaultPlan` is a declarative, fully deterministic schedule of
+faults in *virtual* time.  Disk faults arm at a virtual timestamp and
+fire on the next matching disk read(s); process faults (query crashes,
+scanner crashes, client disconnects) fire at their timestamp against a
+deterministically chosen victim.  Because victims are selected by sorted
+order and index -- never by Python object identity or wall-clock state --
+the same plan against the same workload produces bit-identical runs.
+
+Build plans either explicitly::
+
+    plan = (FaultPlan()
+            .disk_error(at=5.0, transient=True)
+            .corrupt_page(at=9.0, table="lineitem", transient=False)
+            .crash_query(at=30.0, target=1)
+            .disconnect(at=45.0, target=0))
+
+or randomly from a seed with :func:`random_plan`, which is what the
+chaos harness does (``python -m repro.harness chaos --fault-seed N``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One armed disk fault: fires on the next matching read(s).
+
+    Args:
+        at: virtual time at/after which the fault arms.
+        kind: ``error`` (read fails), ``slow`` (latency spike), or
+            ``corrupt`` (page checksum failure after a "successful" read).
+        table: restrict to reads of this table's heap file (None: any read).
+        transient: transient faults are consumed by one read and a retry
+            succeeds; permanent ones poison the block for good.
+        extra_latency: added service seconds for ``slow`` faults.
+        count: how many matching reads this entry affects.
+    """
+
+    at: float
+    kind: str = "error"
+    table: Optional[str] = None
+    transient: bool = True
+    extra_latency: float = 0.0
+    count: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("error", "slow", "corrupt"):
+            raise ValueError(f"unknown disk fault kind {self.kind!r}")
+        if self.count < 1:
+            raise ValueError("disk fault count must be >= 1")
+
+
+@dataclass(frozen=True)
+class ProcessFault:
+    """One scheduled process-level fault.
+
+    Args:
+        at: virtual time the fault fires.
+        kind: ``crash_query`` (abort a running query mid-flight),
+            ``crash_scanner`` (kill a shared circular-scan thread), or
+            ``disconnect`` (interrupt a registered client process).
+        target: deterministic victim index into the sorted candidate list
+            (wraps modulo the candidate count).
+        table: for ``crash_scanner``, the scanned table (None: pick by
+            ``target`` among the active scans, sorted by table name).
+    """
+
+    at: float
+    kind: str = "crash_query"
+    target: int = 0
+    table: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in ("crash_query", "crash_scanner", "disconnect"):
+            raise ValueError(f"unknown process fault kind {self.kind!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of disk and process faults."""
+
+    disk_faults: List[DiskFault] = field(default_factory=list)
+    process_faults: List[ProcessFault] = field(default_factory=list)
+
+    # -- fluent builders -------------------------------------------------
+    def disk_error(
+        self,
+        at: float,
+        table: Optional[str] = None,
+        transient: bool = True,
+        count: int = 1,
+    ) -> "FaultPlan":
+        self.disk_faults.append(
+            DiskFault(at=at, kind="error", table=table,
+                      transient=transient, count=count)
+        )
+        return self
+
+    def latency_spike(
+        self,
+        at: float,
+        extra_latency: float,
+        table: Optional[str] = None,
+        count: int = 1,
+    ) -> "FaultPlan":
+        self.disk_faults.append(
+            DiskFault(at=at, kind="slow", table=table,
+                      extra_latency=extra_latency, count=count)
+        )
+        return self
+
+    def corrupt_page(
+        self,
+        at: float,
+        table: Optional[str] = None,
+        transient: bool = True,
+        count: int = 1,
+    ) -> "FaultPlan":
+        self.disk_faults.append(
+            DiskFault(at=at, kind="corrupt", table=table,
+                      transient=transient, count=count)
+        )
+        return self
+
+    def crash_query(self, at: float, target: int = 0) -> "FaultPlan":
+        self.process_faults.append(
+            ProcessFault(at=at, kind="crash_query", target=target)
+        )
+        return self
+
+    def crash_scanner(
+        self, at: float, table: Optional[str] = None, target: int = 0
+    ) -> "FaultPlan":
+        self.process_faults.append(
+            ProcessFault(at=at, kind="crash_scanner", table=table,
+                         target=target)
+        )
+        return self
+
+    def disconnect(self, at: float, target: int = 0) -> "FaultPlan":
+        self.process_faults.append(
+            ProcessFault(at=at, kind="disconnect", target=target)
+        )
+        return self
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.disk_faults) + len(self.process_faults)
+
+    def describe(self) -> List[str]:
+        """One human-readable line per scheduled fault, in time order."""
+        lines = []
+        for fault in sorted(self.disk_faults, key=lambda f: f.at):
+            scope = f" on {fault.table}" if fault.table else ""
+            flavor = "transient" if fault.transient else "permanent"
+            lines.append(
+                (fault.at, f"t={fault.at:.1f}s disk {fault.kind}{scope} "
+                           f"({flavor}, x{fault.count})")
+            )
+        for fault in sorted(self.process_faults, key=lambda f: f.at):
+            scope = f" on {fault.table}" if fault.table else ""
+            lines.append(
+                (fault.at,
+                 f"t={fault.at:.1f}s {fault.kind}{scope} #{fault.target}")
+            )
+        return [text for _at, text in sorted(lines, key=lambda p: p[0])]
+
+
+def random_plan(
+    seed: int,
+    horizon: float = 200.0,
+    disk_faults: int = 6,
+    process_faults: int = 3,
+    tables: Optional[List[str]] = None,
+) -> FaultPlan:
+    """A seeded random fault plan over ``[0, horizon)`` virtual seconds.
+
+    The same ``seed`` always yields the same plan, which is the contract
+    the chaos harness's determinism guarantee rests on.
+    """
+    rng = random.Random(seed)
+    plan = FaultPlan()
+    for _ in range(disk_faults):
+        at = rng.uniform(0.0, horizon)
+        table = rng.choice(tables) if tables and rng.random() < 0.5 else None
+        roll = rng.random()
+        if roll < 0.45:
+            plan.disk_error(at, table=table,
+                            transient=rng.random() < 0.8,
+                            count=rng.randint(1, 3))
+        elif roll < 0.75:
+            plan.latency_spike(at, extra_latency=rng.uniform(0.5, 3.0),
+                               table=table, count=rng.randint(1, 4))
+        else:
+            plan.corrupt_page(at, table=table,
+                              transient=rng.random() < 0.6)
+    for _ in range(process_faults):
+        at = rng.uniform(horizon * 0.1, horizon)
+        roll = rng.random()
+        if roll < 0.4:
+            plan.crash_query(at, target=rng.randint(0, 7))
+        elif roll < 0.7:
+            plan.crash_scanner(at)
+        else:
+            plan.disconnect(at, target=rng.randint(0, 7))
+    return plan

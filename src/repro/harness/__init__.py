@@ -15,6 +15,8 @@ from repro.harness.config import (
     enable_tracing,
 )
 from repro.harness.experiments import (
+    chaos,
+    render_chaos,
     fig1a_breakdown,
     fig1b_throughput,
     fig4_wop,
@@ -41,6 +43,8 @@ __all__ = [
     "ablation_late_activation",
     "ablation_replacement_policies",
     "ablation_replay_ring",
+    "chaos",
+    "render_chaos",
     "collected_tracers",
     "disable_tracing",
     "enable_tracing",

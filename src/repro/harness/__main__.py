@@ -18,6 +18,8 @@ import time
 from repro.harness import (
     DEFAULT,
     SMOKE,
+    chaos,
+    render_chaos,
     collected_tracers,
     disable_tracing,
     enable_tracing,
@@ -108,13 +110,37 @@ def main(argv=None) -> int:
             "Chrome trace_event file per simulated host into DIR"
         ),
     )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1,
+        help="seed for the chaos experiment's random fault plan",
+    )
     args = parser.parse_args(argv)
 
     if args.figure == "list":
         print("available figures:")
         for name in FIGURES:
             print(f"  {name}")
+        print("  chaos  (supports --fault-seed N)")
         return 0
+
+    if args.figure == "chaos":
+        scale = SCALES[args.scale]
+        start = time.time()
+        result = chaos(scale, fault_seed=args.fault_seed)
+        print(render_chaos(result))
+        print(f"[chaos @ {scale.name}: {time.time() - start:.1f}s wall]")
+        if args.trace is not None:
+            from repro.obs import write_jsonl
+
+            os.makedirs(args.trace, exist_ok=True)
+            path = os.path.join(
+                args.trace, f"chaos-seed{args.fault_seed}.jsonl"
+            )
+            write_jsonl(result["events"], path)
+            print(f"[trace: {path} ({len(result['events'])} events)]")
+        return 1 if result["violations"] else 0
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]
     unknown = [n for n in names if n not in FIGURES]

@@ -8,6 +8,7 @@ deterministic and points are independent.  Returned objects are
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -541,6 +542,176 @@ def ablation_late_activation(
         series.add_point(f"late-activation {label}", "scan detaches",
                          engine.osp_stats.scan_detaches)
     return series
+
+
+# ---------------------------------------------------------------------------
+# Chaos harness: the Figure 12 mix under a seeded fault plan
+# ---------------------------------------------------------------------------
+def chaos(
+    scale: Scale = SMOKE,
+    fault_seed: int = 1,
+    disk_faults: int = 8,
+    process_faults: int = 4,
+    stagger: float = 10.0,
+    horizon: float = 250.0,
+) -> Dict:
+    """Run the Figure 12 query mix under a seeded random fault plan.
+
+    Every query must either complete with results identical to its
+    fault-free solo run, or fail cleanly with a typed
+    :class:`~repro.faults.errors.FaultError` -- in both cases with every
+    buffer-pool pin and table lock reclaimed and no orphaned satellites
+    (checked by replaying the recorded trace through the
+    InvariantChecker plus direct end-state inspection).
+
+    Returns a dict with the fault plan, per-query outcomes, the recorded
+    trace events (for the determinism test: same ``fault_seed`` + config
+    must produce byte-identical JSONL), and the violation list (empty on
+    a clean run).
+    """
+    from repro.faults import FaultInjector, random_plan
+    from repro.faults.errors import FaultError
+    from repro.obs import Tracer
+    from repro.obs.invariants import InvariantChecker
+    from repro.sim import Interrupted
+
+    names = list(MIX)
+
+    def rows_match(got, want) -> bool:
+        # A consumer attaching to a circular scan mid-file receives the
+        # same tuples as a solo run but in wrapped page order, so float
+        # aggregates differ by addition-order rounding (~1e-12 relative).
+        # Only that non-associativity slack is tolerated; any missing or
+        # duplicated tuple still fails.
+        if len(got) != len(want):
+            return False
+        for g, w in zip(got, want):
+            if len(g) != len(w):
+                return False
+            for a, b in zip(g, w):
+                if a == b:
+                    continue
+                if (
+                    isinstance(a, float)
+                    and isinstance(b, float)
+                    and math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+                ):
+                    continue
+                return False
+        return True
+
+    def build_plans():
+        return [
+            Q.QUERY_BUILDERS[name](random.Random(1000 + i))
+            for i, name in enumerate(names)
+        ]
+
+    # Reference: each query solo on a fresh fault-free system.
+    reference: Dict[str, List[tuple]] = {}
+    host, sm, engine = build_tpch_system(scale, "qpipe")
+    for name, plan in zip(names, build_plans()):
+        reference[name] = sorted(engine.run_query(plan))
+
+    # Faulted run: all queries staggered, under the seeded fault plan.
+    host, sm, engine = build_tpch_system(scale, "qpipe")
+    tracer = Tracer(host.sim)
+    fault_plan = random_plan(
+        fault_seed,
+        horizon=horizon,
+        disk_faults=disk_faults,
+        process_faults=process_faults,
+        tables=["lineitem", "orders", "part"],
+    )
+    injector = FaultInjector(fault_plan).attach(engine)
+    outcomes: Dict[str, Tuple[str, object]] = {}
+
+    def client(name, plan, delay):
+        yield host.sim.timeout(delay)
+        try:
+            result = yield from engine.execute(plan)
+        except FaultError as exc:
+            outcomes[name] = ("failed", type(exc).__name__)
+            return None
+        except Interrupted:
+            outcomes[name] = ("disconnected", None)
+            return None
+        outcomes[name] = ("completed", sorted(result.rows))
+        return result
+
+    procs = []
+    for i, (name, plan) in enumerate(zip(names, build_plans())):
+        proc = host.sim.spawn(
+            client(name, plan, i * stagger), name=f"chaos-{i:02d}-{name}"
+        )
+        injector.register_client(proc)
+        procs.append(proc)
+    host.sim.run_until_done(procs)
+
+    # ---- verdicts -----------------------------------------------------
+    violations: List[str] = []
+    summary: Dict[str, str] = {}
+    for name in names:
+        outcome = outcomes.get(name)
+        if outcome is None:
+            violations.append(f"{name}: client died without an outcome")
+            summary[name] = "LOST"
+            continue
+        status, payload = outcome
+        if status == "completed":
+            if not rows_match(payload, reference[name]):
+                violations.append(
+                    f"{name}: completed with wrong rows "
+                    f"({len(payload)} vs {len(reference[name])} expected)"
+                )
+                summary[name] = "WRONG-ROWS"
+            else:
+                summary[name] = "OK"
+        elif status == "failed":
+            summary[name] = f"FAILED({payload})"
+        else:
+            summary[name] = "DISCONNECTED"
+    violations.extend(InvariantChecker(tracer.events).check())
+    residual_locks = [
+        (owner, resource)
+        for resource, grants in sm.locks._granted.items()
+        for owner, _mode in grants
+    ]
+    for owner, resource in residual_locks:
+        violations.append(f"residual lock on {resource!r} by {owner!r}")
+    for key, count in sm.pool._pins.items():
+        violations.append(f"leaked buffer pin on page {key} (count={count})")
+    if engine.active_queries != 0:
+        violations.append(
+            f"{engine.active_queries} queries still active at end of run"
+        )
+    return {
+        "fault_seed": fault_seed,
+        "plan": fault_plan.describe(),
+        "fired": injector.fired,
+        "outcomes": summary,
+        "aborted": engine.queries_aborted,
+        "violations": violations,
+        "events": tracer.events,
+    }
+
+
+def render_chaos(result: Dict) -> str:
+    lines = [f"Chaos run (fault seed {result['fault_seed']}):"]
+    lines.append("  scheduled faults:")
+    for line in result["plan"]:
+        lines.append(f"    {line}")
+    lines.append(f"  faults fired: {len(result['fired'])}")
+    lines.append("  query outcomes:")
+    for name, verdict in result["outcomes"].items():
+        lines.append(f"    {name:<4} {verdict}")
+    lines.append(f"  queries aborted: {result['aborted']}")
+    if result["violations"]:
+        lines.append(f"  VIOLATIONS ({len(result['violations'])}):")
+        for violation in result["violations"]:
+            lines.append(f"    {violation}")
+    else:
+        lines.append("  invariants: all clean (pins, locks, satellites)")
+    return "\n".join(lines)
 
 
 def ablation_replay_ring(

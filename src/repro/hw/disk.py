@@ -15,7 +15,7 @@ The disk is the bottleneck resource in every experiment of the paper
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Tuple
+from typing import Any, Generator, Tuple
 
 from repro.sim import Resource, Simulator
 
@@ -86,6 +86,11 @@ class Disk:
     seek_time: float = 0.005
     name: str = "disk"
     stats: DiskStats = field(default_factory=DiskStats)
+    #: Fault-injection hook: called as ``fault_hook(file_id, block_no)``
+    #: once per read while the head is positioned; may return an action
+    #: with extra latency to charge and/or an error to raise after the
+    #: (possibly stretched) service time elapses.  None means no faults.
+    fault_hook: Any = None
 
     def __post_init__(self):
         if self.transfer_time <= 0:
@@ -106,17 +111,30 @@ class Disk:
         return self.seek_time + self.transfer_time
 
     def read(self, file_id: int, block_no: int) -> Generator:
-        """Coroutine: read one block, charging queueing + service time."""
+        """Coroutine: read one block, charging queueing + service time.
+
+        When a fault hook is installed it is consulted once per read; the
+        request still occupies the disk for the (possibly stretched)
+        service time before an injected error surfaces, matching how a
+        failing drive burns time before reporting.
+        """
         grant = yield self._resource.request()
         try:
             service = self._service_time(file_id, block_no)
             self._head = (file_id, block_no)
+            action = None
+            if self.fault_hook is not None:
+                action = self.fault_hook(file_id, block_no)
+            if action is not None:
+                service += action.extra_latency
             yield self.sim.timeout(service)
             self.stats.blocks_read += 1
             self.stats.read_time += service
             entry = self.stats._file_entry(file_id)
             entry[0] += 1
             entry[1] += service
+            if action is not None and action.error is not None:
+                raise action.error
         finally:
             self._resource.release(grant)
 

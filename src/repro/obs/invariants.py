@@ -10,7 +10,17 @@ must satisfy, whatever the workload:
   any other event; dispatch requires a prior enqueue; a packet never
   both runs standalone and attaches as a satellite; nothing happens to
   a packet after it completed; and no packet completes unattached (no
-  prior dispatch or attach) or completes twice.
+  prior dispatch or attach) or completes twice.  A ``packet.detach``
+  (a satellite whose host died, re-executed privately) resets the
+  enqueue/dispatch/attach state: the packet may legally enqueue,
+  dispatch, or re-attach afterwards.
+* **Abort discipline** -- a query aborts at most once, and a packet is
+  cancelled at most once.
+* **No orphaned satellites** -- every attach is eventually closed out
+  by a completion, a cancellation, or a detach; no satellite is left
+  dangling on a dead host at end of trace.
+* **Lock balance** -- per (owner, resource) pair, releases never exceed
+  acquires and every grant is released by end of trace.
 * **WoP bounds** -- every satellite attach carries the evidence its
   window-of-opportunity test was based on, and that evidence must
   actually satisfy the operator's sharing rule: a *generic* attach needs
@@ -58,6 +68,9 @@ class InvariantChecker:
         self._check_packet_lifecycles()
         self._check_attach_windows()
         self._check_pin_balance()
+        self._check_lock_balance()
+        self._check_aborts()
+        self._check_orphan_satellites()
         return self.violations
 
     def assert_ok(self) -> None:
@@ -134,6 +147,16 @@ class InvariantChecker:
                 if pid in attached:
                     self._flag(f"packet {pid} attached twice")
                 attached.add(pid)
+            elif kind == "detach":
+                if pid not in attached:
+                    self._flag(f"packet {pid} detached without attach")
+                # Host-death redispatch: the packet re-enters the queue as
+                # if freshly created -- a later enqueue/dispatch (or even
+                # a new attach to a different host) is legal again.
+                enqueued.discard(pid)
+                dispatched.discard(pid)
+                attached.discard(pid)
+                cancelled.discard(pid)
             elif kind == "complete":
                 if pid in completed:
                     self._flag(f"packet {pid} completed twice")
@@ -207,3 +230,67 @@ class InvariantChecker:
                 f"page {key} still pinned at end of trace "
                 f"(count={pins[key]})"
             )
+
+    # ------------------------------------------------------------------
+    def _check_lock_balance(self) -> None:
+        """Per (owner, resource): releases pair up with acquires, nothing
+        stays granted at end of trace (aborted queries included)."""
+        held: Dict[Tuple[Any, Any], int] = {}
+        for event in self.events:
+            etype = event.get("type", "")
+            if not etype.startswith("lock."):
+                continue
+            key = (event.get("owner"), event.get("resource"))
+            if etype == "lock.acquire":
+                held[key] = held.get(key, 0) + 1
+            elif etype == "lock.release":
+                count = held.get(key, 0) - 1
+                if count < 0:
+                    self._flag(f"lock release without acquire for {key}")
+                    count = 0
+                held[key] = count
+        for key in sorted(held, key=repr):
+            if held[key] > 0:
+                self._flag(
+                    f"lock {key} still held at end of trace "
+                    f"(count={held[key]})"
+                )
+
+    # ------------------------------------------------------------------
+    def _check_aborts(self) -> None:
+        """Exactly-once teardown: one abort per query, one cancel per
+        packet (between detaches)."""
+        aborted: set = set()
+        cancelled: set = set()
+        for event in self.events:
+            etype = event.get("type", "")
+            if etype == "query.abort":
+                qid = event.get("query")
+                if qid in aborted:
+                    self._flag(f"query {qid} aborted twice")
+                aborted.add(qid)
+            elif etype == "packet.cancel":
+                pid = event.get("packet")
+                if pid in cancelled:
+                    self._flag(f"packet {pid} cancelled twice")
+                cancelled.add(pid)
+            elif etype == "packet.detach":
+                cancelled.discard(event.get("packet"))
+
+    # ------------------------------------------------------------------
+    def _check_orphan_satellites(self) -> None:
+        """Every attach must be closed out -- by a completion, a
+        cancellation, or a detach -- before the trace ends.  A satellite
+        still open at the end is an orphan: its host died (or finished)
+        without anyone resolving the satellite's fate."""
+        open_attach: set = set()
+        for event in self.events:
+            etype = event.get("type", "")
+            if etype == "packet.attach":
+                open_attach.add(event.get("packet"))
+            elif etype in (
+                "packet.complete", "packet.cancel", "packet.detach"
+            ):
+                open_attach.discard(event.get("packet"))
+        for pid in sorted(open_attach, key=repr):
+            self._flag(f"satellite {pid} still attached at end of trace")

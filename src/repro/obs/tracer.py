@@ -59,12 +59,27 @@ class NullTracer:
     def packet_attach(self, packet, host, mechanism: str, **window) -> None:
         pass
 
+    def packet_detach(self, packet, reason: str) -> None:
+        pass
+
+    # -- query lifecycle -----------------------------------------------------
+    def query_abort(self, query, reason: str) -> None:
+        pass
+
     # -- OSP coordinator decisions ------------------------------------------
     def osp(self, etype: str, **fields) -> None:
         pass
 
     # -- buffer pool ---------------------------------------------------------
     def pool(self, etype: str, file_id: int, block_no: int) -> None:
+        pass
+
+    # -- lock manager --------------------------------------------------------
+    def lock(self, etype: str, owner, resource) -> None:
+        pass
+
+    # -- fault injection / recovery ------------------------------------------
+    def fault(self, etype: str, **fields) -> None:
         pass
 
     # -- simulation kernel ---------------------------------------------------
@@ -146,9 +161,24 @@ class Tracer(NullTracer):
             **window,
         )
 
+    def packet_detach(self, packet, reason: str) -> None:
+        self._packet("packet.detach", packet, reason=reason)
+
+    # -- query lifecycle -----------------------------------------------------
+    def query_abort(self, query, reason: str) -> None:
+        self.event("query.abort", query=query.query_id, reason=reason)
+
     # -- OSP coordinator decisions ------------------------------------------
     def osp(self, etype: str, **fields) -> None:
         self.event(f"osp.{etype}", **fields)
+
+    # -- lock manager --------------------------------------------------------
+    def lock(self, etype: str, owner, resource) -> None:
+        self.event(f"lock.{etype}", owner=repr(owner), resource=str(resource))
+
+    # -- fault injection / recovery ------------------------------------------
+    def fault(self, etype: str, **fields) -> None:
+        self.event(f"fault.{etype}", **fields)
 
     # -- buffer pool ---------------------------------------------------------
     def pool(self, etype: str, file_id: int, block_no: int) -> None:

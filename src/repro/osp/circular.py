@@ -22,10 +22,11 @@ by holding the shared scan back before they are ready to read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.engine.packets import Packet
-from repro.sim import ChannelClosed, Event
+from repro.faults.errors import FaultError
+from repro.sim import ChannelClosed, Event, Interrupted
 from repro.storage.locks import LockMode
 
 
@@ -39,6 +40,11 @@ class ScanConsumer:
     pages_remaining: int
     done: Event
     delivered_pages: int = 0
+    #: The scan's ``visit_seq`` at this consumer's last delivered page.
+    #: A restarted scanner re-reads the page it died on; consumers that
+    #: already received it under the same visit are skipped, keeping
+    #: delivery exactly-once across crashes.
+    last_visit: int = -1
 
 
 @dataclass
@@ -47,10 +53,16 @@ class CircularScan:
 
     table: str
     num_pages: int
+    #: Deterministic scan instance number (lock-owner identity in traces).
+    seq: int = 0
     current_page: int = 0
     consumers: List[ScanConsumer] = field(default_factory=list)
     running: bool = False
     total_pages_scanned: int = 0
+    #: Monotonic page-visit counter (never wraps with current_page).
+    visit_seq: int = 0
+    #: The scanner process currently driving this scan (crash target).
+    scanner_proc: Any = None
 
 
 class CircularScanManager:
@@ -61,6 +73,7 @@ class CircularScanManager:
         self.sim = engine.sim
         self.sm = engine.sm
         self.scans: Dict[str, CircularScan] = {}
+        self._seq = 0
 
     # ------------------------------------------------------------------
     def serve(self, packet: Packet) -> Generator:
@@ -90,24 +103,31 @@ class CircularScanManager:
             and not getattr(self.engine.config, "circular_wraparound", True)
         ):
             return False
+        done = Event(self.sim)
+        done.describe = f"circular scan of {table}"
         consumer = ScanConsumer(
             packet=packet,
             filter_fn=filter_fn,
             project_fn=project_fn,
             pages_remaining=self.sm.num_pages(table),
-            done=Event(self.sim),
+            done=done,
         )
         if scan is None or not scan.running:
             scan = CircularScan(
-                table=table, num_pages=self.sm.num_pages(table)
+                table=table,
+                num_pages=self.sm.num_pages(table),
+                seq=self._seq,
             )
+            self._seq += 1
             scan.running = True
             scan.consumers.append(consumer)
             self.scans[table] = scan
             self.sim.tracer.osp(
                 "circular_start", packet=packet.packet_id, table=table
             )
-            self.sim.spawn(self._scanner(scan), name=f"scanner-{table}")
+            scan.scanner_proc = self.sim.spawn(
+                self._scanner(scan), name=f"scanner-{table}"
+            )
         else:
             # Attach at the scanner's current position; the new
             # termination point is one full cycle from here.
@@ -124,16 +144,54 @@ class CircularScanManager:
 
     # ------------------------------------------------------------------
     def _scanner(self, scan: CircularScan) -> Generator:
-        """The dedicated scanner thread for one relation."""
+        """The dedicated scanner thread for one relation.
+
+        The scanner is the *host* of every attached scan: its death must
+        not fail its sharers.  A crash (interrupt) while consumers remain
+        restarts the scan thread at the current position -- per-consumer
+        ``last_visit`` marks keep page delivery exactly-once across the
+        restart.  An unrecoverable storage fault aborts the consumers'
+        queries with the typed error instead of hanging them.
+        """
         sm = self.sm
         # Section 4.3.4: the shared scan holds a shared table lock, so it
         # (and all its satellites with it) waits out concurrent writers.
-        owner = ("scanner", scan.table, id(scan))
-        yield sm.locks.acquire(owner, scan.table, LockMode.SHARED)
+        owner = ("scanner", scan.table, scan.seq)
         try:
+            yield sm.locks.acquire(owner, scan.table, LockMode.SHARED)
             yield from self._scan_loop(scan)
+        except Interrupted:
+            if scan.consumers and self.scans.get(scan.table) is scan:
+                self.sim.tracer.osp(
+                    "scanner_restart",
+                    table=scan.table,
+                    position=scan.current_page,
+                    consumers=len(scan.consumers),
+                )
+                scan.scanner_proc = self.sim.spawn(
+                    self._scanner(scan), name=f"scanner-{scan.table}"
+                )
+            else:
+                self._unregister(scan)
+                for consumer in list(scan.consumers):
+                    self._finish(scan, consumer)
+        except FaultError as exc:
+            self.sim.tracer.fault(
+                "scan_failed", table=scan.table, error=type(exc).__name__
+            )
+            self._unregister(scan)
+            for consumer in list(scan.consumers):
+                query = consumer.packet.query
+                if query.engine is not None and not query.aborted:
+                    query.engine.abort_query(query, str(exc), exc)
+                self._finish(scan, consumer)
         finally:
-            sm.locks.release(owner, scan.table)
+            sm.locks.release_if_held(owner, scan.table)
+
+    def _unregister(self, scan: CircularScan) -> None:
+        scan.running = False
+        if self.scans.get(scan.table) is scan:
+            del self.scans[scan.table]
 
     def _scan_loop(self, scan: CircularScan) -> Generator:
         sm = self.sm
@@ -151,7 +209,9 @@ class CircularScanManager:
             for consumer in list(scan.consumers):
                 if consumer.done.triggered:
                     continue
-                status = yield from self._deliver(consumer, rows)
+                if consumer.last_visit == scan.visit_seq:
+                    continue  # delivered before a mid-page scanner crash
+                status = yield from self._deliver(consumer, rows, scan)
                 if status == "gone":
                     self._finish(scan, consumer)
                     continue
@@ -160,14 +220,18 @@ class CircularScanManager:
                     # consumer forever -- cut it loose.
                     self._detach(scan, consumer)
                     continue
-                consumer.pages_remaining -= 1
-                consumer.delivered_pages += 1
+                self._mark_delivered(scan, consumer)
                 if consumer.pages_remaining <= 0:
                     self._finish(scan, consumer)
+            scan.visit_seq += 1
             scan.current_page = (scan.current_page + 1) % scan.num_pages
-        scan.running = False
-        if self.scans.get(scan.table) is scan:
-            del self.scans[scan.table]
+        self._unregister(scan)
+
+    @staticmethod
+    def _mark_delivered(scan: CircularScan, consumer: ScanConsumer) -> None:
+        consumer.last_visit = scan.visit_seq
+        consumer.pages_remaining -= 1
+        consumer.delivered_pages += 1
 
     @property
     def _patience(self) -> float:
@@ -184,14 +248,14 @@ class CircularScanManager:
         disk = self.engine.host.config
         return 5.0 * (disk.disk_seek_time + disk.disk_transfer_time)
 
-    def _deliver(self, consumer: ScanConsumer, rows) -> Generator:
+    def _deliver(self, consumer: ScanConsumer, rows, scan: CircularScan) -> Generator:
         """Coroutine: filter/project *rows* for one consumer and push them.
 
         Returns "gone" when the consumer went away, "stalled" when it
         timed out (caller detaches it), "ok" otherwise.
         """
         packet = consumer.packet
-        if packet.output.closed:
+        if packet.output.closed or packet.query.aborted:
             return "gone"
         yield from self.engine.engines["fscan"].charge(packet, len(rows))
         out = rows
@@ -200,12 +264,20 @@ class CircularScanManager:
         if consumer.project_fn is not None:
             out = [consumer.project_fn(row) for row in out]
         if out:
+            before = packet.primary_output.tuples_in
             try:
                 accepted = yield from packet.primary_output.put_with_patience(
                     out, self._patience
                 )
             except ChannelClosed:
                 return "gone"
+            except Interrupted:
+                # The scanner was killed mid-put.  If the batch slipped
+                # in before the interrupt landed, record the delivery so
+                # the restarted scanner skips this consumer for this page.
+                if packet.primary_output.tuples_in > before:
+                    self._mark_delivered(scan, consumer)
+                raise
             if not accepted:
                 return "stalled"
         return "ok"
@@ -256,6 +328,11 @@ class CircularScanManager:
                 page_no = (page_no + 1) % num_pages
         except ChannelClosed:
             pass
+        except FaultError as exc:
+            # A private catch-up scan failing affects only its own query.
+            query = packet.query
+            if query.engine is not None and not query.aborted:
+                query.engine.abort_query(query, str(exc), exc)
         self._finish(None, consumer)
 
     def _deliver_blocking(self, consumer: ScanConsumer, rows) -> Generator:

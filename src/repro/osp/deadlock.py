@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Set
 
 from repro.engine.buffers import TupleBuffer
+from repro.engine.packets import PacketState
 
 
 class DeadlockDetector:
@@ -63,6 +64,11 @@ class DeadlockDetector:
             producer, consumer = buf.producer, buf.consumer
             if producer is None or consumer is None:
                 continue
+            # Stale edge: a completed/aborted endpoint is not waiting on
+            # anything; treating it as a node would manufacture phantom
+            # cycles (and materialise innocent buffers) during teardown.
+            if self._stale(producer) or self._stale(consumer):
+                continue
             if buf.full and buf.blocked_producers():
                 edges.setdefault(producer, set()).add(consumer)
                 blocking_buffer[(producer, consumer)] = buf
@@ -91,6 +97,14 @@ class DeadlockDetector:
         self.resolved.append(victim)
         self.engine.osp_stats.deadlocks_resolved += 1
         return candidates
+
+    @staticmethod
+    def _stale(packet) -> bool:
+        state = getattr(packet, "state", None)
+        if state in (PacketState.DONE, PacketState.CANCELLED):
+            return True
+        query = getattr(packet, "query", None)
+        return query is not None and getattr(query, "aborted", False)
 
     @staticmethod
     def _find_cycle(edges: Dict[object, Set[object]]) -> Optional[list]:

@@ -35,7 +35,7 @@ class Event:
     it from their generator.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "abandoned")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "abandoned", "describe")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -46,6 +46,9 @@ class Event:
         #: nothing will ever resume from this event, so wait queues must
         #: not grant it a resource or deliver it an item.
         self.abandoned = False
+        #: Optional human-readable description of what waiting on this
+        #: event means ("get on channel X"); starvation diagnostics use it.
+        self.describe: Optional[str] = None
 
     @property
     def triggered(self) -> bool:
@@ -437,8 +440,25 @@ class Simulator:
         final = self.run()
         stuck = [p for p in watched if p.alive]
         if stuck:
-            names = ", ".join(p.name for p in stuck)
+            details = "; ".join(self._describe_blocked(p) for p in stuck)
             raise StarvationError(
-                f"simulation drained at t={final:.3f} with live processes: {names}"
+                f"simulation drained at t={final:.3f} with "
+                f"{len(stuck)} live process(es): {details}"
             )
         return final
+
+    @staticmethod
+    def _describe_blocked(process: Process) -> str:
+        """Name a stuck process and what it is blocked on."""
+        target = process._target
+        if target is None:
+            return f"{process.name} (not waiting on any event)"
+        what = target.describe
+        if what is None:
+            if isinstance(target, Timeout):
+                what = f"timeout({target.delay})"
+            elif isinstance(target, Process):
+                what = f"process {target.name}"
+            else:
+                what = type(target).__name__
+        return f"{process.name} waiting on {what}"

@@ -91,6 +91,7 @@ class Channel:
     def put(self, item: Any, size: float = 1.0, owner: Any = None) -> Event:
         """Enqueue *item*; the returned event fires once accepted."""
         event = Event(self.sim)
+        event.describe = f"put on channel {self.name}"
         if self._closed:
             event.fail(ChannelClosed(f"put on closed channel {self.name}"))
             return event
@@ -109,6 +110,7 @@ class Channel:
     def get(self, owner: Any = None) -> Event:
         """Dequeue the next item; the returned event fires with it."""
         event = Event(self.sim)
+        event.describe = f"get on channel {self.name}"
         self._getters.append((event, owner))
         self._balance()
         return event
@@ -245,6 +247,7 @@ class Resource:
     def request(self) -> Event:
         """Acquire one unit; the returned event fires with a grant token."""
         event = Event(self.sim)
+        event.describe = f"resource {self.name}"
         if self._in_use < self.capacity and not self._waiters:
             self._account()
             self._in_use += 1
@@ -296,6 +299,7 @@ class Gate:
 
     def wait(self) -> Event:
         event = Event(self.sim)
+        event.describe = "gate"
         if self._open:
             event.succeed()
         else:
@@ -328,6 +332,7 @@ class Semaphore:
 
     def acquire(self) -> Event:
         event = Event(self.sim)
+        event.describe = f"{type(self).__name__.lower()}"
         if self._value > 0 and not self._waiters:
             self._value -= 1
             event.succeed()
@@ -365,6 +370,7 @@ class Condition:
 
     def wait(self) -> Event:
         event = Event(self.sim)
+        event.describe = "condition"
         self._waiters.append(event)
         return event
 

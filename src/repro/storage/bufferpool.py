@@ -17,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, Optional, Tuple
 
+from repro.faults.errors import FaultError
 from repro.hw.disk import Disk
 from repro.sim import Event, SimulationError, Simulator
+from repro.sim.errors import Interrupted
 from repro.storage.file import BlockStore
 from repro.storage.replacement import ReplacementPolicy, make_policy
 
@@ -76,6 +78,12 @@ class BufferPool:
     #: window, which is exactly the timing-sensitive pool sharing the
     #: paper credits it with.
     scan_window_shared: bool = False
+    #: Bounded retry for *transient* injected faults (disk read errors,
+    #: transient page corruption): up to ``max_retries`` extra attempts
+    #: with exponential virtual-time backoff.  Permanent faults and
+    #: exhausted retries surface the typed error to the caller.
+    max_retries: int = 3
+    retry_backoff: float = 0.002
     stats: BufferPoolStats = field(default_factory=BufferPoolStats)
 
     def __post_init__(self):
@@ -146,7 +154,14 @@ class BufferPool:
                 if pin:
                     self._pins[key] = self._pins.get(key, 0) + 1
                     self.sim.tracer.pool("pin", file_id, block_no)
-                yield self.sim.timeout(self.page_hit_cost)
+                try:
+                    yield self.sim.timeout(self.page_hit_cost)
+                except Interrupted:
+                    # The requester died mid-hit: give back the pin it
+                    # will never release.
+                    if pin:
+                        self.unpin(file_id, block_no)
+                    raise
                 return payload
 
         pending = self._in_flight.get(key)
@@ -178,7 +193,7 @@ class BufferPool:
         try:
             if key not in self._frames:
                 self._make_room()
-            yield from self.disk.read(file_id, block_no)
+            yield from self._read_with_retry(file_id, block_no)
             payload = self.store.read_block(file_id, block_no)
             self._frames[key] = payload
             if cold and self.use_scan_ring:
@@ -194,6 +209,33 @@ class BufferPool:
             self._pins[key] = self._pins.get(key, 0) + 1
             self.sim.tracer.pool("pin", file_id, block_no)
         return payload
+
+    def _read_with_retry(self, file_id: int, block_no: int) -> Generator:
+        """Coroutine: disk read + checksum verify with bounded retry.
+
+        Transient faults (see :class:`~repro.faults.errors.FaultError`)
+        are retried up to ``max_retries`` times with exponential backoff
+        in virtual time; permanent faults and exhausted budgets re-raise.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from self.disk.read(file_id, block_no)
+                self.store.verify_block(file_id, block_no)
+                return
+            except FaultError as exc:
+                attempt += 1
+                retriable = exc.transient and attempt <= self.max_retries
+                self.sim.tracer.fault(
+                    "retry" if retriable else "giveup",
+                    file=file_id, block=block_no,
+                    attempt=attempt, error=type(exc).__name__,
+                )
+                if not retriable:
+                    raise
+                yield self.sim.timeout(
+                    self.retry_backoff * (2 ** (attempt - 1))
+                )
 
     def write_page(self, file_id: int, block_no: int) -> Generator:
         """Coroutine: write-through one (already mutated) page to disk."""

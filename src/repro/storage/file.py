@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Tuple
 
+from repro.faults.errors import PageCorruptError
 from repro.storage.page import Page, RID
 
 
@@ -21,12 +22,21 @@ class BlockStore:
 
     File ids are allocated monotonically.  Payloads are arbitrary objects:
     :class:`Page` for heap files, node dicts for B+trees.
+
+    Corruption is simulated with per-block marks rather than by mutating
+    payloads: pages are shared live objects here, so a content checksum
+    would legitimately change under updates.  A marked block fails
+    :meth:`verify_block` (the buffer pool verifies after every disk read);
+    a *transient* mark clears on first detection -- the retry then reads a
+    good copy -- while a *permanent* one persists.
     """
 
     def __init__(self):
         self._files: Dict[int, List[Any]] = {}
         self._names: Dict[int, str] = {}
         self._next_id = 0
+        #: (file_id, block_no) -> permanent? for corruption marks.
+        self._corrupt: Dict[Tuple[int, int], bool] = {}
 
     def create_file(self, name: str = "file") -> int:
         file_id = self._next_id
@@ -67,6 +77,26 @@ class BlockStore:
 
     def files(self) -> Iterator[int]:
         return iter(self._files)
+
+    # -- corruption marks (fault injection) ------------------------------
+    def corrupt_block(
+        self, file_id: int, block_no: int, permanent: bool = False
+    ) -> None:
+        """Mark a block so its next verification fails its checksum."""
+        self._corrupt[(file_id, block_no)] = permanent
+
+    def verify_block(self, file_id: int, block_no: int) -> None:
+        """Checksum-verify a block; raises :exc:`PageCorruptError` if bad.
+
+        A transient mark is consumed by the failed verification (the
+        next read sees a clean copy); a permanent mark stays.
+        """
+        permanent = self._corrupt.get((file_id, block_no))
+        if permanent is None:
+            return
+        if not permanent:
+            del self._corrupt[(file_id, block_no)]
+        raise PageCorruptError(file_id, block_no, transient=not permanent)
 
 
 class HeapFile:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Tuple
 
 from repro.sim import Event, SimulationError, Simulator
 
@@ -56,8 +56,11 @@ class LockManager:
         (locks are not counted per owner; release drops the owner's grant).
         """
         event = Event(self.sim)
+        event.describe = f"lock on {resource!r}"
         granted = self._granted.setdefault(resource, [])
         if any(o == owner and m == mode for o, m in granted):
+            # No new grant entry is appended, so no acquire event either:
+            # the lock-balance invariant counts one acquire per grant.
             event.succeed()
             return event
         queue = self._waiting.setdefault(resource, deque())
@@ -74,14 +77,53 @@ class LockManager:
             raise SimulationError(
                 f"{owner!r} does not hold a lock on {resource!r}"
             )
+        for _ in range(len(granted) - len(remaining)):
+            self.sim.tracer.lock("release", owner, resource)
         self._granted[resource] = remaining
         self._grant_waiters(resource)
+
+    def release_if_held(self, owner: Any, resource: Hashable) -> bool:
+        """Release *owner*'s lock if held; quiet no-op otherwise.
+
+        Abort paths use this: an interrupted process's cleanup can race
+        the engine-level lock sweep, and whichever runs second must not
+        blow up on the already-released lock.
+        """
+        granted = self._granted.get(resource, [])
+        if not any(o == owner for o, _m in granted):
+            return False
+        self.release(owner, resource)
+        return True
 
     def release_all(self, owner: Any) -> None:
         """Drop every lock held by *owner* (end-of-transaction)."""
         for resource in list(self._granted):
             if any(o == owner for o, _m in self._granted[resource]):
                 self.release(owner, resource)
+
+    def release_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Sweep: drop every grant and queued wait whose owner matches.
+
+        The abort path reclaims all of a dead query's locks with one
+        call; returns the number of grants released.
+        """
+        released = 0
+        for resource in list(self._granted):
+            granted = self._granted[resource]
+            keep = [(o, m) for o, m in granted if not predicate(o)]
+            for owner, _mode in granted:
+                if predicate(owner):
+                    self.sim.tracer.lock("release", owner, resource)
+                    released += 1
+            self._granted[resource] = keep
+        for resource, queue in self._waiting.items():
+            survivors = deque(
+                (o, m, e) for o, m, e in queue if not predicate(o)
+            )
+            self._waiting[resource] = survivors
+        for resource in list(self._granted):
+            self._grant_waiters(resource)
+        return released
 
     # ------------------------------------------------------------------
     def _compatible(self, resource: Hashable, mode: LockMode) -> bool:
@@ -108,4 +150,5 @@ class LockManager:
                 break  # FIFO: nobody overtakes the head
             queue.popleft()
             granted.append((owner, mode))
+            self.sim.tracer.lock("acquire", owner, resource)
             event.succeed()
