@@ -127,10 +127,12 @@ def main(argv=None) -> int:
 
     if args.figure == "chaos":
         scale = SCALES[args.scale]
-        start = time.time()
+        # Wall-clock here measures the *host*, never sim behaviour.
+        start = time.time()  # simlint: disable=DET001
         result = chaos(scale, fault_seed=args.fault_seed)
         print(render_chaos(result))
-        print(f"[chaos @ {scale.name}: {time.time() - start:.1f}s wall]")
+        elapsed = time.time() - start  # simlint: disable=DET001
+        print(f"[chaos @ {scale.name}: {elapsed:.1f}s wall]")
         if args.trace is not None:
             from repro.obs import write_jsonl
 
@@ -152,9 +154,11 @@ def main(argv=None) -> int:
     for name in names:
         if args.trace is not None:
             enable_tracing()
-        start = time.time()
+        # Wall-clock here measures the *host*, never sim behaviour.
+        start = time.time()  # simlint: disable=DET001
         print(FIGURES[name](scale))
-        print(f"[{name} @ {scale.name}: {time.time() - start:.1f}s wall]\n")
+        elapsed = time.time() - start  # simlint: disable=DET001
+        print(f"[{name} @ {scale.name}: {elapsed:.1f}s wall]\n")
         if args.trace is not None:
             _dump_traces(args.trace, name)
     if args.trace is not None:

@@ -73,6 +73,29 @@ SMOKE = Scale(
 DEFAULT = Scale(name="default")
 
 
+# ---------------------------------------------------------------------------
+# Experiment RNG seeds.  Every random.Random() in the harness is seeded
+# from one of these so the recorded figures replay bit-identically; the
+# values themselves are arbitrary but load-bearing -- changing one
+# changes every figure drawn from it.
+# ---------------------------------------------------------------------------
+#: Single-query experiments (figure 1a and friends): the one parameter
+#: draw behind a standalone plan.
+FIG_QUERY_SEED = 1
+
+#: Shared-parameter experiments (q4 merge/hash pairs): both plans in a
+#: pair must draw *identical* parameters or OSP has nothing to share.
+SHARED_PARAM_SEED = 5
+
+#: Per-client parameter streams in throughput experiments: client ``i``
+#: uses ``CLIENT_SEED_BASE + i``.
+CLIENT_SEED_BASE = 100
+
+#: Per-query streams in the chaos/mixed workload: query ``i`` uses
+#: ``CHAOS_QUERY_SEED_BASE + i``.
+CHAOS_QUERY_SEED_BASE = 1000
+
+
 def with_overrides(scale: Scale, **kwargs) -> Scale:
     return replace(scale, **kwargs)
 

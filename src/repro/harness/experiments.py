@@ -13,6 +13,10 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.harness.config import (
+    CHAOS_QUERY_SEED_BASE,
+    CLIENT_SEED_BASE,
+    FIG_QUERY_SEED,
+    SHARED_PARAM_SEED,
     SMOKE,
     Scale,
     build_tpch_system,
@@ -79,7 +83,7 @@ def fig1a_breakdown(scale: Scale = SMOKE):
             sm.table_file_id(t): t for t in sm.catalog.tables()
         }
         before = host.disk.stats.snapshot()
-        proc = host.sim.spawn(engine.execute(builder(random.Random(1))))
+        proc = host.sim.spawn(engine.execute(builder(random.Random(FIG_QUERY_SEED))))
         host.sim.run()
         delta = host.disk.stats.delta(before)
         total = sum(t for _b, t in delta.per_file.values()) or 1.0
@@ -201,7 +205,7 @@ def fig8_scan_sharing(
             for gap in interarrivals:
                 host, sm, engine = build_tpch_system(scale, system)
                 plans = [
-                    Q.q6(random.Random(100 + i)) for i in range(count)
+                    Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(count)
                 ]
                 delays = [i * gap for i in range(count)]
                 _run_staggered(host, engine, plans, delays)
@@ -262,8 +266,8 @@ def fig9_ordered_scans(
         "Figure 9: order-sensitive clustered index scans (Q4, merge-join)",
         lambda system: build_tpch_system(scale, system),
         lambda: [
-            Q.q4_merge(random.Random(5), flavor="count"),
-            Q.q4_merge(random.Random(5), flavor="sum"),
+            Q.q4_merge(random.Random(SHARED_PARAM_SEED), flavor="count"),
+            Q.q4_merge(random.Random(SHARED_PARAM_SEED), flavor="sum"),
         ],
         interarrivals,
     )
@@ -299,8 +303,8 @@ def fig11_hash_join(
         "Figure 11: hash-join build sharing (Q4, hash-join)",
         lambda system: build_tpch_system(scale, system),
         lambda: [
-            Q.q4_hash(random.Random(5), flavor="count"),
-            Q.q4_hash(random.Random(5), flavor="sum"),
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="count"),
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="sum"),
         ],
         interarrivals,
     )
@@ -463,13 +467,13 @@ def ablation_replacement_policies(
         )
         load_tpch(sm, TpchScale(scale.tpch_factor), seed=scale.seed)
         engine = make_engine(sm, scale, "baseline")
-        plans = [Q.q6(random.Random(100 + i)) for i in range(clients)]
+        plans = [Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(clients)]
         delays = [i * interarrival for i in range(clients)]
         _run_staggered(host, engine, plans, delays)
         series.add_point("Baseline", policy, host.disk.stats.blocks_read)
     # Reference: QPipe w/OSP on LRU.
     host, sm, engine = build_tpch_system(scale, "qpipe")
-    plans = [Q.q6(random.Random(100 + i)) for i in range(clients)]
+    plans = [Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(clients)]
     delays = [i * interarrival for i in range(clients)]
     _run_staggered(host, engine, plans, delays)
     series.notes.append(
@@ -501,7 +505,7 @@ def ablation_circular_wraparound(
         for gap in interarrivals:
             host, sm, engine = build_tpch_system(scale, "qpipe")
             engine.config.circular_wraparound = wrap
-            plans = [Q.q6(random.Random(100 + i)) for i in range(clients)]
+            plans = [Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(clients)]
             delays = [i * gap for i in range(clients)]
             _run_staggered(host, engine, plans, delays)
             series.add_point(label, gap, host.disk.stats.blocks_read)
@@ -530,7 +534,7 @@ def ablation_late_activation(
         host, sm, engine = build_tpch_system(scale, "qpipe")
         engine.config.late_activation = late
         plans = [
-            Q.q4_hash(random.Random(5), "count" if i % 2 else "sum")
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), "count" if i % 2 else "sum")
             for i in range(clients)
         ]
         delays = [i * 5.0 for i in range(clients)]
@@ -602,7 +606,7 @@ def chaos(
 
     def build_plans():
         return [
-            Q.QUERY_BUILDERS[name](random.Random(1000 + i))
+            Q.QUERY_BUILDERS[name](random.Random(CHAOS_QUERY_SEED_BASE + i))
             for i, name in enumerate(names)
         ]
 
@@ -732,8 +736,8 @@ def ablation_replay_ring(
         sized = with_overrides(scale, replay_tuples=max(1, size))
         host, sm, engine = build_tpch_system(sized, "qpipe")
         plans = [
-            Q.q4_hash(random.Random(5), flavor="count"),
-            Q.q4_hash(random.Random(5), flavor="sum"),
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="count"),
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="sum"),
         ]
         _run_staggered(host, engine, plans, [0.0, interarrival])
         series.add_point(

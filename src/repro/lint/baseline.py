@@ -1,0 +1,80 @@
+"""Baseline files: grandfathering known findings without hiding new ones.
+
+A baseline is a committed JSON file listing findings that are accepted
+for now.  ``python -m repro.lint --baseline lint_baseline.json`` drops
+any finding matching a baseline entry and fails only on *new* ones, so
+the lint gate can be turned on before a tree is fully clean -- and the
+entries burn down as files get fixed (stale entries are reported).
+
+Entries key on ``(path, rule, stripped source line)`` rather than line
+numbers, so unrelated edits that shift code around do not invalidate
+the baseline; duplicate keys carry a count.  Regenerate with
+``--write-baseline`` after deliberate changes.  An empty baseline
+(``{"findings": []}``) is the steady state this tree maintains.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """The baseline as a multiset of finding keys."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(
+            f"{path}: not a simlint baseline (expected a 'findings' list)"
+        )
+    keys: Counter = Counter()
+    for entry in doc["findings"]:
+        keys[(entry["path"], entry["rule"], entry.get("snippet", ""))] += (
+            entry.get("count", 1)
+        )
+    return keys
+
+
+def write_baseline(findings: List[Finding], path: str) -> None:
+    """Write the given findings as a fresh baseline file."""
+    keys = Counter(f.baseline_key() for f in findings)
+    doc = {
+        "version": _VERSION,
+        "findings": [
+            {"path": p, "rule": r, "snippet": s, "count": c}
+            for (p, r, s), c in sorted(keys.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], List[Key]]:
+    """Split findings into (new, grandfathered) and list stale entries.
+
+    Each baseline entry absorbs at most ``count`` matching findings;
+    entries matching nothing are *stale* -- the code they covered was
+    fixed, so the baseline should be regenerated to burn them down.
+    """
+    budget: Counter = Counter(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return new, old, stale

@@ -1,0 +1,135 @@
+"""The ``python -m repro.lint`` command line and its reporters.
+
+Usage::
+
+    python -m repro.lint [--format text|json]
+                         [--baseline lint_baseline.json]
+                         [--write-baseline] [--rules] [paths...]
+
+Paths default to ``src`` (falling back to ``.``).  The default baseline
+file is ``lint_baseline.json`` in the working directory and is silently
+skipped when absent, so ``python -m repro.lint src`` does the right
+thing both locally and in CI.  Exit status: 0 when no new findings,
+1 otherwise (parse errors are findings too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.core import Finding, lint_paths, rule_catalogue
+
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: static analysis of the engine's determinism and "
+            "cooperative-scheduling contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            f"baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule, doc in rule_catalogue():
+            print(f"{rule}  {doc}")
+        return 0
+
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    findings = lint_paths(paths)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline: Counter = Counter()
+    if args.baseline is not None or os.path.isfile(baseline_path):
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            parser.error(f"baseline file not found: {baseline_path}")
+        except (ValueError, KeyError) as exc:
+            parser.error(f"bad baseline file: {exc}")
+
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        _report_json(new, grandfathered, stale)
+    else:
+        _report_text(new, grandfathered, stale, paths)
+    return 1 if new else 0
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+def _report_text(
+    new: List[Finding],
+    grandfathered: List[Finding],
+    stale,
+    paths: List[str],
+) -> None:
+    for finding in new:
+        print(finding.render())
+    bits = [f"{len(new)} finding(s)"]
+    if grandfathered:
+        bits.append(f"{len(grandfathered)} baselined")
+    if stale:
+        bits.append(
+            f"{len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} "
+            f"(fixed code; regenerate with --write-baseline)"
+        )
+    status = "clean" if not new else "FAILED"
+    print(f"simlint: {', '.join(bits)} in {' '.join(paths)} -- {status}")
+
+
+def _report_json(
+    new: List[Finding], grandfathered: List[Finding], stale
+) -> None:
+    doc = {
+        "version": 1,
+        "findings": [f.to_dict() for f in new],
+        "baselined": len(grandfathered),
+        "stale_baseline_entries": [
+            {"path": p, "rule": r, "snippet": s} for (p, r, s) in stale
+        ],
+    }
+    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")

@@ -1,0 +1,126 @@
+"""Findings, the rule catalogue, and the lint driver.
+
+The driver parses every ``.py`` file under the given paths into a
+:class:`~repro.lint.scopes.ModuleInfo`, runs the four rule families
+over each module, runs the project-wide checks (which need every
+module's symbol table at once), drops findings suppressed by a
+``# simlint: disable=RULE`` comment on the flagged line, and returns
+the rest sorted by location.
+
+Rule modules contribute two things: a ``RULES`` dict (rule id ->
+docstring, merged into :func:`rule_catalogue`) and ``check(module)`` /
+``check_project(modules)`` generators of :class:`Finding`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint import rules_det, rules_res, rules_trc, rules_yld
+from repro.lint.findings import Finding, make_finding  # noqa: F401 (re-export)
+from repro.lint.scopes import ModuleInfo
+
+#: Parse failures are findings too, so a syntactically broken file can
+#: never make the tree "lint clean" by being unanalysable.
+PARSE_RULE = "E001"
+
+RULES: Dict[str, str] = {
+    PARSE_RULE: "File could not be parsed as Python source.",
+}
+for _mod in (rules_det, rules_yld, rules_res, rules_trc):
+    RULES.update(_mod.RULES)
+
+
+def rule_catalogue() -> List[Tuple[str, str]]:
+    """Every (rule id, description), sorted by id."""
+    return sorted(RULES.items())
+
+
+# ---------------------------------------------------------------------------
+# File collection and parsing
+# ---------------------------------------------------------------------------
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Every ``.py`` file under *paths*, sorted for determinism."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return sorted(dict.fromkeys(out))
+
+
+def _relpath(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # different drive (windows)
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def load_module(path: str, root: str = ".") -> ModuleInfo:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return ModuleInfo(path, _relpath(path, root), source)
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+_MODULE_CHECKS = (
+    rules_det.check,
+    rules_yld.check,
+    rules_res.check,
+    rules_trc.check,
+)
+_PROJECT_CHECKS = (rules_yld.check_project,)
+
+
+def lint_paths(paths: Iterable[str], root: str = ".") -> List[Finding]:
+    """Analyze every Python file under *paths*; returns the surviving
+    findings (suppressions already applied), sorted by location."""
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = load_module(path, root)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=_relpath(path, root),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(module)
+
+    for module in modules:
+        for check in _MODULE_CHECKS:
+            findings.extend(check(module))
+    for check in _PROJECT_CHECKS:
+        findings.extend(check(modules))
+
+    by_rel = {m.rel: m for m in modules}
+    survivors = []
+    for finding in findings:
+        module = by_rel.get(finding.path)
+        if module is not None and module.suppressed(
+            finding.line, finding.rule
+        ):
+            continue
+        survivors.append(finding)
+    return sorted(survivors, key=Finding.sort_key)

@@ -1,0 +1,57 @@
+"""The :class:`Finding` record shared by the driver and the rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.lint.scopes import ModuleInfo
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Stripped source text of the flagged line; baselines key on it so
+    #: unrelated edits shifting line numbers do not invalidate entries.
+    snippet: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def make_finding(
+    module: ModuleInfo, node, rule: str, message: str
+) -> Finding:
+    """A finding anchored at an AST node (the rule modules' helper)."""
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return Finding(
+        path=module.rel,
+        line=line,
+        col=col,
+        rule=rule,
+        message=message,
+        snippet=module.snippet(line),
+    )

@@ -1,0 +1,204 @@
+"""DET -- determinism hazards.
+
+The DES kernel's contract (DESIGN.md section 1) is byte-identical
+replay from a seed: every differential test, chaos replay, and trace
+invariant rests on it.  These rules flag the ways contributors break it
+by accident:
+
+* **DET001** wall-clock reads (``time.time``, ``datetime.now``,
+  ``time.monotonic``...): real time leaking into simulation state or
+  output.  Virtual time lives at ``sim.now``.  Intentional wall-time
+  reporting (the harness's ``[... 3.1s wall]`` lines) carries a
+  ``# simlint: disable=DET001`` annotation.
+* **DET002** module-level / unseeded RNG: ``random.random()`` and
+  friends draw from the process-global generator whose state depends on
+  import order and everything else that ran; ``random.Random()`` with
+  no arguments seeds from OS entropy; ``random.seed`` mutates shared
+  global state.  Use a threaded ``random.Random(seed)`` instance.
+* **DET003** OS entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``,
+  ``secrets.*`` are nondeterministic by design.
+* **DET004** ``id()`` in orderings or hashes: CPython object addresses
+  differ run to run, so an ``id()`` inside a sort key or a ``hash()``
+  makes the order (and anything downstream of it) irreproducible.
+* **DET005** set-iteration order leaks: iterating a ``set`` directly
+  (``for``, comprehension, ``list(...)``/``tuple(...)`` conversion)
+  leaks hash order, which for strings is randomized per process.  Wrap
+  the set in ``sorted(...)`` before its elements flow into trace
+  events, scheduling, or output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.findings import Finding, make_finding
+from repro.lint.scopes import ModuleInfo, call_name, iter_scope
+
+RULES: Dict[str, str] = {
+    "DET001": "Wall-clock call; use virtual time (sim.now) instead.",
+    "DET002": "Module-level or unseeded RNG; use random.Random(seed).",
+    "DET003": "OS entropy source (os.urandom / uuid / secrets).",
+    "DET004": "id() used in a sort key or hash; addresses vary per run.",
+    "DET005": "Iteration over a set leaks hash order; sort it first.",
+}
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_GLOBAL_RNG = frozenset({
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.sample",
+    "random.shuffle", "random.uniform", "random.gauss",
+    "random.normalvariate", "random.expovariate", "random.betavariate",
+    "random.getrandbits", "random.randbytes", "random.triangular",
+    "random.seed",
+})
+
+_OS_ENTROPY = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.randbits", "secrets.choice",
+})
+
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+
+def check(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield from _check_call(module, node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from _check_set_iteration(module, node.iter, "for loop")
+        elif isinstance(node, ast.comprehension):
+            yield from _check_set_iteration(
+                module, node.iter, "comprehension"
+            )
+
+
+# ---------------------------------------------------------------------------
+# DET001 / DET002 / DET003 / DET004 -- call-shaped hazards
+# ---------------------------------------------------------------------------
+def _check_call(module: ModuleInfo, call: ast.Call) -> Iterator[Finding]:
+    name = module.resolve(call_name(call.func))
+    if name in _WALL_CLOCK:
+        yield make_finding(
+            module, call, "DET001",
+            f"wall-clock call {name}() breaks deterministic replay; "
+            f"use virtual time (sim.now) or annotate intentional "
+            f"wall-time reporting",
+        )
+    elif name in _GLOBAL_RNG:
+        yield make_finding(
+            module, call, "DET002",
+            f"{name}() draws from the process-global RNG; thread a "
+            f"seeded random.Random(seed) instance instead",
+        )
+    elif name == "random.Random" and not call.args and not call.keywords:
+        yield make_finding(
+            module, call, "DET002",
+            "random.Random() with no seed falls back to OS entropy; "
+            "pass an explicit seed",
+        )
+    elif name in _OS_ENTROPY:
+        yield make_finding(
+            module, call, "DET003",
+            f"{name}() is nondeterministic OS entropy; derive values "
+            f"from the experiment seed instead",
+        )
+    if name in _ORDERING_CALLS or (
+        isinstance(call.func, ast.Attribute) and call.func.attr == "sort"
+    ):
+        for kw in call.keywords:
+            if kw.arg == "key":
+                yield from _flag_id_calls(module, kw.value, "sort key")
+    elif name == "hash":
+        for arg in call.args:
+            yield from _flag_id_calls(module, arg, "hash()")
+
+
+def _flag_id_calls(
+    module: ModuleInfo, tree: ast.AST, where: str
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and "id" not in module.imports
+        ):
+            yield make_finding(
+                module, node, "DET004",
+                f"id() inside a {where}: object addresses differ "
+                f"between runs, so the resulting order is not "
+                f"reproducible",
+            )
+
+
+# ---------------------------------------------------------------------------
+# DET005 -- set-iteration order leaks
+# ---------------------------------------------------------------------------
+def _is_set_expr(
+    module: ModuleInfo, expr: ast.AST, set_locals: Set[str]
+) -> bool:
+    """Statically set-typed: a set display/comprehension, a
+    ``set()``/``frozenset()`` call, a local bound only to such
+    expressions, or a binary operation over them (`` | & - ^ ``)."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = module.resolve(call_name(expr.func))
+        if name in ("set", "frozenset") and name not in module.imports:
+            return True
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id in set_locals
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(module, expr.left, set_locals) or _is_set_expr(
+            module, expr.right, set_locals
+        )
+    return False
+
+
+def _set_locals_of(module: ModuleInfo, scope: ast.AST) -> Set[str]:
+    """Names bound *only* to set-typed expressions within one scope."""
+    bound: Dict[str, bool] = {}
+    for node in iter_scope(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                is_set = _is_set_expr(module, node.value, set())
+                prior = bound.get(target.id)
+                bound[target.id] = is_set if prior is None else (
+                    prior and is_set
+                )
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if not isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                        ast.BitXor)):
+                bound[node.target.id] = False
+    return {name for name, is_set in bound.items() if is_set}
+
+
+def _check_set_iteration(
+    module: ModuleInfo, iter_expr: ast.AST, where: str
+) -> Iterator[Finding]:
+    func = module.enclosing_function(iter_expr)
+    scope = func.node if func is not None else module.tree
+    set_locals = _set_locals_of(module, scope)
+    if _is_set_expr(module, iter_expr, set_locals):
+        yield make_finding(
+            module, iter_expr, "DET005",
+            f"{where} iterates a set directly; hash order is not "
+            f"deterministic across runs -- iterate sorted(...) instead",
+        )

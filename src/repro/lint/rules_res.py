@@ -1,0 +1,155 @@
+"""RES -- resource acquire/release pairing on all exit paths.
+
+A sim process can be interrupted (query abort, injected crash, client
+disconnect) at *any* yield point.  A lock acquire, resource request, or
+buffer pin that is not released in a ``finally:`` (or by a context
+manager) leaks the moment an interrupt lands between acquire and
+release -- exactly the interrupt-unsafe patterns PR 2 fixed by hand.
+These rules keep them from regressing:
+
+* **RES001** unpaired / unprotected acquire: a ``.acquire(...)`` or
+  ``.request(...)`` whose matching ``.release...(...)`` is missing from
+  the function, or present but not inside the ``finally:`` of a ``try``
+  that covers the acquire (either the acquire's enclosing ``try`` or
+  one that follows it in the same block).
+* **RES002** unpaired / unprotected pin: the same discipline for
+  ``pin=True`` page fetches and ``.pin(...)`` calls, which must be
+  matched by ``.unpin...(...)`` in a covering ``finally:``.
+
+The rules only fire at *call sites*: the primitives' own
+implementations (``Semaphore.acquire``, ``BufferPool.get_page``) define
+these methods but do not call them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.lint.findings import Finding, make_finding
+from repro.lint.scopes import ModuleInfo, attr_of_call, iter_scope
+
+RULES: Dict[str, str] = {
+    "RES001": "Lock/resource acquire without a release on all exits "
+              "(require try/finally or a context manager).",
+    "RES002": "Buffer pin without an unpin on all exits "
+              "(require try/finally or a context manager).",
+}
+
+_ACQUIRE_ATTRS = frozenset({"acquire", "request"})
+_RELEASE_ATTRS = frozenset({"release", "release_if_held", "release_all"})
+_PIN_ATTRS = frozenset({"pin"})
+_UNPIN_ATTRS = frozenset({"unpin", "unpin_all", "release_page"})
+
+
+def check(module: ModuleInfo) -> Iterator[Finding]:
+    for func in module.functions:
+        yield from _check_function(module, func.node, func.name)
+
+
+def _check_function(
+    module: ModuleInfo, func: ast.AST, func_name: str
+) -> Iterator[Finding]:
+    acquires: List[Tuple[ast.Call, str, FrozenSet[str], str]] = []
+    release_attrs_present = set()
+    for node in iter_scope(func):
+        if not isinstance(node, ast.Call):
+            continue
+        attr = attr_of_call(node)
+        if attr in _RELEASE_ATTRS or attr in _UNPIN_ATTRS:
+            release_attrs_present.add(attr)
+            continue
+        if attr in _ACQUIRE_ATTRS and attr != func_name:
+            acquires.append((node, "RES001", _RELEASE_ATTRS, attr))
+        elif attr in _PIN_ATTRS and attr != func_name:
+            acquires.append((node, "RES002", _UNPIN_ATTRS, attr))
+        elif _has_literal_pin(node) and func_name not in (
+            "get_page", "read_page", "read_table_page"
+        ):
+            acquires.append((node, "RES002", _UNPIN_ATTRS, "pin=True"))
+
+    for call, rule, releases, what in acquires:
+        if _protected(module, call, releases):
+            continue
+        paired = bool(releases & release_attrs_present)
+        if paired:
+            message = (
+                f"{what} at this call is released in this function, but "
+                f"not from a 'finally:' covering the acquire -- an "
+                f"interrupt between acquire and release leaks it"
+            )
+        else:
+            message = (
+                f"{what} at this call has no matching "
+                f"{'/'.join(sorted(releases))} in this function and no "
+                f"covering try/finally -- the resource leaks on every "
+                f"exit path"
+            )
+        yield make_finding(module, call, rule, message)
+
+
+def _has_literal_pin(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if (
+            kw.arg == "pin"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        ):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Protection analysis
+# ---------------------------------------------------------------------------
+def _protected(
+    module: ModuleInfo, call: ast.Call, releases: FrozenSet[str]
+) -> bool:
+    """Whether *call* is covered by a releasing ``finally:`` or ``with``.
+
+    Covered means: an ancestor ``try`` whose ``finally:`` contains a
+    release call; a ``try`` with such a ``finally:`` later in the same
+    statement block (the idiomatic ``yield x.acquire()`` immediately
+    followed by ``try: ... finally: x.release()``); or the call is a
+    ``with`` statement's context expression.
+    """
+    stmt = module.statement_of(call)
+
+    # with X.acquire() / with pool.pin(...):
+    for ancestor in module.ancestors(call):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                if _contains(item.context_expr, call):
+                    return True
+
+    # An enclosing try whose finally releases.
+    for ancestor in module.ancestors(stmt):
+        if isinstance(ancestor, ast.Try) and _block_releases(
+            ancestor.finalbody, releases
+        ):
+            return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+
+    # A later sibling try whose finally releases.
+    block, index = module.block_of(stmt)
+    for later in block[index + 1:]:
+        if isinstance(later, ast.Try) and _block_releases(
+            later.finalbody, releases
+        ):
+            return True
+    return False
+
+
+def _block_releases(
+    block: List[ast.stmt], releases: FrozenSet[str]
+) -> bool:
+    for stmt in block:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and attr_of_call(node) in releases:
+                return True
+    return False
+
+
+def _contains(tree: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in ast.walk(tree))

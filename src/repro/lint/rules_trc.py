@@ -1,0 +1,234 @@
+"""TRC -- trace-schema conformance at emit call sites.
+
+The :mod:`repro.obs.schema` registry declares every event the engine
+may emit and the fields each must carry; the tracer enforces the name
+half at runtime.  These rules enforce the same contract *statically*,
+so an unregistered name or missing field is a lint failure instead of a
+crash in the first traced run:
+
+* **TRC001** unregistered event name: a literal name passed to
+  ``tracer.event(...)`` (or a family method such as
+  ``tracer.osp("...")``, whose f-string families enumerate their
+  allowed suffixes in the registry) that the registry does not declare.
+* **TRC002** statically unverifiable event name: a non-literal name
+  expression at an emit call site.  The runtime check still applies;
+  annotate deliberate dynamic emits with ``# simlint: disable=TRC002``.
+* **TRC003** missing required field: a literal-name emit whose keyword
+  arguments lack a field the registry requires (calls forwarding
+  ``**fields`` are skipped -- they cannot be checked statically).
+
+Recognized emitters: any ``<...>.tracer.<method>(...)`` chain, the
+``self.event``/``self._packet`` helpers inside ``*Tracer`` classes, and
+the registered wrapper methods (``_record`` forwards to the ``fault``
+family; ``_packet`` injects the packet identity fields).  The generic
+dispatcher bodies themselves (``Tracer.osp`` building ``f"osp.{etype}"``
+and friends) are exempt: their *call sites* are what get checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, make_finding
+from repro.lint.scopes import ModuleInfo
+from repro.obs import schema
+
+RULES: Dict[str, str] = {
+    "TRC001": "Trace event name is not declared in the "
+              "repro.obs.schema registry.",
+    "TRC002": "Trace event name is not statically verifiable "
+              "(non-literal expression).",
+    "TRC003": "Trace emit lacks a field the registry requires for "
+              "this event.",
+}
+
+#: Family dispatch methods on the tracer: ``osp(etype)`` emits
+#: ``osp.<etype>``; the empty prefix means the literal is the full name.
+_FAMILY_METHODS: Dict[str, str] = {
+    "event": "",
+    "osp": "osp",
+    "pool": "pool",
+    "lock": "lock",
+    "fault": "fault",
+    "proc": "proc",
+}
+
+#: Families whose dispatcher signature carries the required fields as
+#: fixed positional parameters -- nothing left to check per call site.
+_POSITIONAL_FAMILIES = frozenset({"pool", "lock", "proc"})
+
+#: Emit wrappers: method name -> (family prefix, fields the wrapper
+#: injects itself).  Their call sites are checked; their bodies are not.
+_WRAPPERS: Dict[str, Tuple[str, FrozenSet[str]]] = {
+    "_packet": ("", frozenset({"packet", "query", "engine", "op"})),
+    "_record": ("fault", frozenset()),
+}
+
+
+def check(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        method = node.func.attr
+        emit: Optional[Tuple[str, FrozenSet[str], bool]] = None
+        if method in _FAMILY_METHODS and _is_tracer_emit(
+            module, node, method
+        ):
+            prefix = _FAMILY_METHODS[method]
+            emit = (
+                prefix,
+                frozenset(),
+                prefix in _POSITIONAL_FAMILIES,
+            )
+        elif method in _WRAPPERS and isinstance(
+            node.func.value, ast.Name
+        ) and node.func.value.id == "self":
+            prefix, injected = _WRAPPERS[method]
+            emit = (prefix, injected, False)
+        if emit is None:
+            continue
+        if _in_exempt_body(module, node):
+            continue
+        prefix, injected, fields_positional = emit
+        yield from _check_emit(
+            module, node, prefix, injected, fields_positional
+        )
+
+
+# ---------------------------------------------------------------------------
+# Emitter recognition
+# ---------------------------------------------------------------------------
+def _is_tracer_emit(
+    module: ModuleInfo, call: ast.Call, method: str
+) -> bool:
+    base = call.func.value  # type: ignore[union-attr]
+    if isinstance(base, ast.Name) and base.id == "tracer":
+        return True
+    if isinstance(base, ast.Attribute) and base.attr == "tracer":
+        return True
+    # self.event(...) inside a *Tracer class is the raw emit itself.
+    if (
+        method == "event"
+        and isinstance(base, ast.Name)
+        and base.id == "self"
+    ):
+        func = module.enclosing_function(call)
+        return bool(
+            func and func.class_name and func.class_name.endswith("Tracer")
+        )
+    return False
+
+
+def _in_exempt_body(module: ModuleInfo, node: ast.AST) -> bool:
+    """Dispatcher and wrapper bodies forward non-literal names by
+    design; only their call sites are checked."""
+    func = module.enclosing_function(node)
+    if func is None:
+        return False
+    if func.name in _WRAPPERS:
+        return True
+    return (
+        func.name in _FAMILY_METHODS
+        and func.class_name is not None
+        and func.class_name.endswith("Tracer")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Name and field validation
+# ---------------------------------------------------------------------------
+def _check_emit(
+    module: ModuleInfo,
+    call: ast.Call,
+    prefix: str,
+    injected: FrozenSet[str],
+    fields_positional: bool,
+) -> Iterator[Finding]:
+    if not call.args:
+        return
+    name_node = call.args[0]
+    names = _literal_names(name_node, prefix)
+    if names is None:
+        verdict = _dynamic_name_verdict(name_node, prefix)
+        if verdict is not None:
+            yield make_finding(module, call, verdict[0], verdict[1])
+        return
+    for name in names:
+        if not schema.is_registered(name):
+            yield make_finding(
+                module, call, "TRC001",
+                f"trace event {name!r} is not declared in "
+                f"repro.obs.schema; register it (or fix the typo)",
+            )
+            continue
+        if fields_positional:
+            continue
+        if any(kw.arg is None for kw in call.keywords):
+            continue  # **fields forwarding: not statically checkable
+        present: Set[str] = {
+            kw.arg for kw in call.keywords if kw.arg is not None
+        }
+        # _packet-style wrappers pass the subject positionally.
+        missing = [
+            f
+            for f in schema.required_fields(name)
+            if f not in present and f not in injected
+        ]
+        if missing:
+            yield make_finding(
+                module, call, "TRC003",
+                f"emit of {name!r} lacks required field(s) "
+                f"{', '.join(missing)} (see repro.obs.schema)",
+            )
+
+
+def _literal_names(
+    node: ast.AST, prefix: str
+) -> Optional[List[str]]:
+    """All concrete event names a literal name expression can produce,
+    or None when the expression is not statically literal.
+
+    Handles plain string constants and conditional expressions over
+    them (``"retry" if ok else "giveup"``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [f"{prefix}.{node.value}" if prefix else node.value]
+    if isinstance(node, ast.IfExp):
+        body = _literal_names(node.body, prefix)
+        orelse = _literal_names(node.orelse, prefix)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+def _dynamic_name_verdict(
+    node: ast.AST, prefix: str
+) -> Optional[Tuple[str, str]]:
+    """Classify a non-literal name expression.
+
+    An f-string whose constant head names a registered dynamic family
+    (``f"osp.{etype}"``) is allowed -- the family's suffixes are
+    enumerated in the registry and checked at the family-method call
+    sites plus at runtime.  Anything else is unverifiable.
+    """
+    if prefix == "" and isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            family = head.value.split(".", 1)[0]
+            if head.value.endswith(".") and schema.family_suffixes(family):
+                return None  # registered dynamic family
+            return (
+                "TRC001",
+                f"f-string event name with head {head.value!r} does not "
+                f"name a registered dynamic family; enumerate its "
+                f"suffixes in repro.obs.schema",
+            )
+    return (
+        "TRC002",
+        "trace event name is not a literal; the registry cannot verify "
+        "it statically (runtime validation still applies) -- annotate "
+        "deliberate dynamic emits with '# simlint: disable=TRC002'",
+    )

@@ -1,0 +1,178 @@
+"""YLD -- cooperative-scheduling discipline.
+
+Sim processes are plain generators the kernel drives with ``send``/
+``throw``; every blocking primitive *returns an event or a generator*
+that only does anything once yielded.  Python will happily evaluate
+``sim.timeout(5)`` or ``channel.put(rows)`` as a bare statement and
+throw the result away -- the process just never blocks (or the item is
+never sent), and nothing fails until a trace diverges much later.
+
+* **YLD001** dropped yielding call: an expression statement calls a
+  known yielding primitive (``timeout``, ``acquire``, ``request``,
+  ``get``/``put``, ``wait``, ``charge``...) or a function known to be a
+  generator, and neither ``yield``\\ s nor ``yield from``\\ s the result.
+  This is the classic silently-dropped-generator bug.
+* **YLD002** generator unreachable from the kernel's spawn surface: a
+  *private* (``_name``) or nested generator function that is never
+  referenced anywhere in the analyzed tree -- nothing spawns it, drives
+  it with ``yield from``, or exports it -- so its ``yield`` statements
+  can never execute.  Public generators are the spawn surface itself
+  (tests and client code reference them) and are exempt.
+
+Matching a bare ``obj.method()`` against generator *names* is
+necessarily approximate: the attribute form only counts when the name
+is unambiguous -- defined somewhere as a generator, nowhere as a plain
+function, and not a common container/file method (``update``,
+``write``, ...) that collides with dicts and file handles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set
+
+from repro.lint.findings import Finding, make_finding
+from repro.lint.scopes import ModuleInfo, attr_of_call, call_name
+
+RULES: Dict[str, str] = {
+    "YLD001": "Yielding primitive called but its event/generator is "
+              "dropped; 'yield'/'yield from' it.",
+    "YLD002": "Generator function unreachable from the kernel's spawn "
+              "surface (never spawned, yielded from, or exported).",
+}
+
+#: Method names whose call result is an Event (or a generator) that a
+#: sim process must yield; a bare expression statement discards it.
+YIELDING_METHODS = frozenset({
+    "timeout", "acquire", "request", "wait", "get", "put",
+    "charge", "sleep", "any_of", "all_of",
+})
+
+#: Method names shared with dicts, sets, lists, and file handles.  A
+#: generator named ``write`` (Disk.write) would otherwise make every
+#: ``fh.write(...)`` statement look like a dropped generator; attribute
+#: matching skips these names entirely (plain-name calls still match).
+_COMMON_METHODS = frozenset({
+    "append", "add", "clear", "close", "extend", "flush", "insert",
+    "open", "pop", "read", "readline", "remove", "reverse", "run",
+    "seek", "sort", "update", "write", "writelines",
+})
+
+
+def check(module: ModuleInfo) -> Iterator[Finding]:
+    """YLD001 within one module, against the module's own generators.
+
+    The project pass re-runs the same scan with the union of every
+    module's generator names; running here too keeps single-file lints
+    (fixtures, editors) useful on their own.
+    """
+    gens, nongens = _function_names([module])
+    yield from _dropped_calls(module, gens, nongens)
+
+
+def check_project(modules: List[ModuleInfo]) -> Iterator[Finding]:
+    all_gens, all_nongens = _function_names(modules)
+
+    # YLD001 against the project-wide generator set, minus what the
+    # per-module pass already reported (avoid duplicate findings).
+    for module in modules:
+        gens, nongens = _function_names([module])
+        local = set(_dropped_calls(module, gens, nongens))
+        for finding in _dropped_calls(module, all_gens, all_nongens):
+            if finding not in local:
+                yield finding
+
+    # YLD002: a private generator nobody references can never reach the
+    # kernel.  Public generators are API surface -- tests and client
+    # code outside the linted tree legitimately reference them.
+    referenced: Set[str] = set()
+    for module in modules:
+        referenced |= module.referenced_names
+    for module in modules:
+        for func in module.functions:
+            if not func.is_generator or not _internal(func):
+                continue
+            if func.name not in referenced:
+                yield make_finding(
+                    module, func.node, "YLD002",
+                    f"generator {func.qualname!r} is never spawned, "
+                    f"yielded from, or referenced anywhere; its yield "
+                    f"statements are unreachable from the kernel",
+                )
+
+
+def _internal(func) -> bool:
+    """Private (``_name`` but not dunder) or nested generators only."""
+    name = func.name
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return name.startswith("_") or ".<locals>." in func.qualname
+
+
+def _function_names(modules: List[ModuleInfo]) -> "tuple[Set[str], Set[str]]":
+    gens: Set[str] = set()
+    nongens: Set[str] = set()
+    for module in modules:
+        for func in module.functions:
+            (gens if func.is_generator else nongens).add(func.name)
+    return gens, nongens
+
+
+# ---------------------------------------------------------------------------
+# YLD001
+# ---------------------------------------------------------------------------
+def _dropped_calls(
+    module: ModuleInfo,
+    generator_names: Iterable[str],
+    nongenerator_names: Iterable[str],
+) -> List[Finding]:
+    generator_names = set(generator_names)
+    # A name defined both ways somewhere in the tree is ambiguous at an
+    # untyped call site; stay silent rather than guess.
+    unambiguous = generator_names - set(nongenerator_names)
+    out: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Expr):
+            continue
+        call = node.value
+        if not isinstance(call, ast.Call):
+            # `yield X.acquire()` is Expr(Yield(Call)): correctly driven.
+            continue
+        attr = attr_of_call(call)
+        plain = call_name(call.func)
+        if attr in YIELDING_METHODS:
+            out.append(
+                make_finding(
+                    module, node, "YLD001",
+                    f"result of {_describe(call)}() is discarded; the "
+                    f"wait never happens -- yield it (or 'yield from' "
+                    f"it) so the kernel can resume the process",
+                )
+            )
+        elif (
+            plain is not None
+            and "." not in plain
+            and plain in unambiguous
+        ) or (
+            attr is not None
+            and attr in unambiguous
+            and attr not in _COMMON_METHODS
+        ):
+            out.append(
+                make_finding(
+                    module, node, "YLD001",
+                    f"{_describe(call)}() is a generator function; "
+                    f"calling it as a bare statement drops the "
+                    f"generator unstarted -- use 'yield from' (or "
+                    f"sim.spawn)",
+                )
+            )
+    return out
+
+
+def _describe(call: ast.Call) -> str:
+    name = call_name(call.func)
+    if name is not None:
+        return name
+    attr = attr_of_call(call)
+    return f"...{attr}" if attr is not None else "<call>"

@@ -1,7 +1,11 @@
 """Observability: packet-lifecycle tracing, trace analysis, invariants.
 
-The subsystem has four parts:
+The subsystem has five parts:
 
+* :mod:`repro.obs.schema` -- the declared registry of every trace event
+  and its required fields; the tracer validates against it at runtime
+  and the ``TRC`` rules of :mod:`repro.lint` validate against it
+  statically;
 * :mod:`repro.obs.tracer` -- the :class:`Tracer` that records typed
   events with virtual timestamps (and the allocation-free
   :class:`NullTracer` every simulator starts with);
@@ -30,13 +34,25 @@ from repro.obs.export import (
 )
 from repro.obs.invariants import InvariantChecker, InvariantViolation
 from repro.obs.query_trace import PacketTimeline, QueryTrace, query_ids
+from repro.obs.schema import (
+    EVENT_NAMES,
+    EVENTS,
+    TraceFieldError,
+    UnknownTraceEvent,
+    validate_event,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "EVENTS",
+    "EVENT_NAMES",
     "InvariantChecker",
     "InvariantViolation",
     "NULL_TRACER",
     "NullTracer",
+    "TraceFieldError",
+    "UnknownTraceEvent",
+    "validate_event",
     "PacketTimeline",
     "QueryTrace",
     "Tracer",

@@ -3,7 +3,9 @@
 The tracer records *typed events* with virtual timestamps as the engine
 runs.  Every event is a plain dict with at least ``ts`` (simulation
 seconds) and ``type`` (a dotted name such as ``packet.dispatch`` or
-``pool.hit``); the remaining keys are event-specific and deliberately
+``pool.hit``, declared in the :mod:`repro.obs.schema` registry --
+unregistered names are rejected at emit time); the remaining keys are
+event-specific and deliberately
 restricted to deterministic values (packet ids, table names, counts --
 never Python object ids), so two identical runs produce byte-identical
 exports.
@@ -33,6 +35,15 @@ tracing is off.
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
+
+from repro.obs.schema import (
+    EVENT_NAMES,
+    UnknownTraceEvent,
+    family_suffixes,
+)
+
+_POOL_EVENTS = family_suffixes("pool")
+_PROC_EVENTS = family_suffixes("proc")
 
 
 class NullTracer:
@@ -114,7 +125,15 @@ class Tracer(NullTracer):
 
     # ------------------------------------------------------------------
     def event(self, etype: str, **fields) -> None:
-        """Record one raw event at the current virtual time."""
+        """Record one raw event at the current virtual time.
+
+        The name must come from the :mod:`repro.obs.schema` registry --
+        the same registry the static ``TRC`` lint rules check emit call
+        sites against -- so a typo'd event can never silently slip past
+        the :class:`~repro.obs.invariants.InvariantChecker`.
+        """
+        if etype not in EVENT_NAMES:
+            raise UnknownTraceEvent(etype)
         record: Dict[str, Any] = {"ts": self.sim.now, "type": etype}
         record.update(fields)
         self.events.append(record)
@@ -182,6 +201,10 @@ class Tracer(NullTracer):
 
     # -- buffer pool ---------------------------------------------------------
     def pool(self, etype: str, file_id: int, block_no: int) -> None:
+        # Bypasses event() on the per-page hot path; the suffix check is
+        # the same registry lookup, one string-build cheaper.
+        if etype not in _POOL_EVENTS:
+            raise UnknownTraceEvent(f"pool.{etype}")
         self.events.append(
             {
                 "ts": self.sim.now,
@@ -193,6 +216,8 @@ class Tracer(NullTracer):
 
     # -- simulation kernel ---------------------------------------------------
     def proc(self, etype: str, name: str) -> None:
+        if etype not in _PROC_EVENTS:
+            raise UnknownTraceEvent(f"proc.{etype}")
         self.events.append(
             {"ts": self.sim.now, "type": f"proc.{etype}", "name": name}
         )

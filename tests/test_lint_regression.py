@@ -1,0 +1,56 @@
+"""Regression guard: the bug classes simlint exists for stay caught.
+
+Re-introduces, in a temp module, the two historical bug shapes PR 2
+fixed by hand -- a dropped yielding call and an interrupt-unsafe lock
+acquire -- and pins the exact rule IDs and line numbers the analyzer
+must report for them, plus that the repaired versions lint clean.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+BUGGY = textwrap.dedent("""\
+    def drain(sim, channel, lock):
+        yield lock.acquire()
+        while True:
+            item = yield channel.get()
+            if item is None:
+                break
+            sim.timeout(1)
+        lock.release()
+""")
+
+FIXED = textwrap.dedent("""\
+    def drain(sim, channel, lock):
+        yield lock.acquire()
+        try:
+            while True:
+                item = yield channel.get()
+                if item is None:
+                    break
+                yield sim.timeout(1)
+        finally:
+            lock.release()
+""")
+
+
+def _lint(tmp_path: Path, source: str):
+    path = tmp_path / "drain.py"
+    path.write_text(source)
+    return lint_paths([str(path)], root=str(tmp_path))
+
+
+def test_reintroduced_bugs_are_reported_with_exact_positions(tmp_path):
+    findings = _lint(tmp_path, BUGGY)
+    reported = {(f.rule, f.line) for f in findings}
+    # Line 2: acquire whose release (line 8) is not in a finally.
+    assert ("RES001", 2) in reported
+    # Line 7: sim.timeout(1) result dropped -- the wait never happens.
+    assert ("YLD001", 7) in reported
+    assert len(findings) == 2, [f.render() for f in findings]
+
+
+def test_fixed_module_is_clean(tmp_path):
+    assert _lint(tmp_path, FIXED) == []

@@ -1,0 +1,131 @@
+"""Runtime half of the trace-event registry (:mod:`repro.obs.schema`).
+
+The static ``TRC`` lint rules and :meth:`Tracer.event` share one
+registry; these tests cover the runtime side -- unregistered names are
+rejected at emit time, the NullTracer stays an allocation-free no-op,
+and :func:`validate_event` checks full records for tests and tools.
+"""
+
+import pytest
+
+from repro.obs.schema import (
+    EVENT_NAMES,
+    TraceFieldError,
+    UnknownTraceEvent,
+    catalogue,
+    family_suffixes,
+    is_registered,
+    required_fields,
+    validate_event,
+)
+from repro.obs.tracer import NullTracer, Tracer
+
+
+class _Sim:
+    now = 3.5
+    tracer = None
+
+
+def make_tracer():
+    return Tracer(_Sim())
+
+
+# ---------------------------------------------------------------------------
+# Registry contents
+# ---------------------------------------------------------------------------
+def test_registry_covers_the_engine_families():
+    assert is_registered("packet.create")
+    assert is_registered("query.abort")
+    assert {"hit", "miss", "pin", "unpin"} <= family_suffixes("pool")
+    assert {"spawn", "interrupt"} == family_suffixes("proc")
+    assert family_suffixes("nosuchfamily") == frozenset()
+    assert required_fields("query.abort") == ("query", "reason")
+
+
+def test_catalogue_is_sorted_and_complete():
+    specs = catalogue()
+    names = [spec.name for spec in specs]
+    assert names == sorted(EVENT_NAMES)
+    assert all(spec.doc for spec in specs)
+
+
+# ---------------------------------------------------------------------------
+# Tracer runtime rejection
+# ---------------------------------------------------------------------------
+def test_tracer_accepts_registered_event():
+    tracer = make_tracer()
+    tracer.event("query.abort", query=7, reason="deadline")
+    assert tracer.events == [
+        {"ts": 3.5, "type": "query.abort", "query": 7, "reason": "deadline"}
+    ]
+
+
+def test_tracer_rejects_unregistered_event():
+    tracer = make_tracer()
+    with pytest.raises(UnknownTraceEvent, match="packet.dispatched"):
+        tracer.event("packet.dispatched", packet=1)
+    assert tracer.events == []
+
+
+def test_tracer_rejects_unregistered_family_suffixes():
+    tracer = make_tracer()
+    with pytest.raises(UnknownTraceEvent):
+        tracer.pool("bogus", 1, 2)
+    with pytest.raises(UnknownTraceEvent):
+        tracer.proc("bogus", "p0")
+    with pytest.raises(UnknownTraceEvent):
+        tracer.osp("circularstart", packet=1, table="t")
+    tracer.pool("hit", 1, 2)
+    tracer.proc("spawn", "p0")
+    assert [e["type"] for e in tracer.events] == ["pool.hit", "proc.spawn"]
+
+
+def test_null_tracer_skips_validation():
+    # The disabled tracer must stay a no-op even for garbage names:
+    # hot paths call it unconditionally.
+    null = NullTracer()
+    null.osp("anything", field=1)
+    null.pool("bogus", 1, 2)
+    null.proc("bogus", "p0")
+    null.fault("nonsense")
+
+
+# ---------------------------------------------------------------------------
+# validate_event
+# ---------------------------------------------------------------------------
+def test_validate_event_accepts_complete_record():
+    validate_event(
+        {"ts": 0.0, "type": "pool.hit", "file": 1, "block": 2}
+    )
+
+
+def test_validate_event_rejects_unknown_type():
+    with pytest.raises(UnknownTraceEvent):
+        validate_event({"ts": 0.0, "type": "pool.bogus"})
+
+
+def test_validate_event_rejects_missing_ts():
+    with pytest.raises(TraceFieldError, match="ts"):
+        validate_event({"type": "pool.hit", "file": 1, "block": 2})
+
+
+def test_validate_event_rejects_missing_required_field():
+    with pytest.raises(TraceFieldError, match="reason"):
+        validate_event({"ts": 0.0, "type": "query.abort", "query": 7})
+
+
+def test_every_traced_run_validates(db):
+    # Smoke: a real traced run produces only registry-valid records.
+    from repro.engine.qpipe import QPipeConfig, QPipeEngine
+    from repro.relational.expressions import AggSpec
+    from repro.relational.plans import Aggregate, TableScan
+
+    host, sm, r_rows, _s = db
+    engine = QPipeEngine(sm, QPipeConfig(osp_enabled=True))
+    tracer = Tracer(host.sim)
+    plan = Aggregate(TableScan("r"), [AggSpec("count", None, "n")])
+    rows = engine.run_query(plan)
+    assert rows == [(len(r_rows),)]
+    assert tracer.events, "traced run produced no events"
+    for record in tracer.events:
+        validate_event(record)
