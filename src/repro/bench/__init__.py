@@ -1,0 +1,23 @@
+"""Wall-clock performance harness (``python -m repro.bench``).
+
+Everything else in this repository measures *virtual* time; this package
+is the one place that measures *real* time.  It runs two suites:
+
+* **micro** -- kernel-level operation rates: events scheduled/sec through
+  the now-queue and the timeout heap, channel and tuple-buffer batch
+  throughput, and the buffer-pool hit path.
+* **macro** -- end-to-end wall-clock of the paper's fig8 scan-sharing and
+  fig12 throughput experiments at ``SMOKE`` scale, with frozen
+  parameters so numbers stay comparable across commits.
+
+Each benchmark is median-of-k with warmup; results are written as a
+single JSON document (``BENCH_0004.json`` is the committed baseline) so
+every future PR has a trajectory to compare against.  ``--check`` fails
+on regressions beyond a threshold -- the CI ``bench-smoke`` job runs the
+micro suite against the committed baseline with a generous 30% margin.
+"""
+
+from repro.bench.report import collect, compare, render_text
+from repro.bench.timing import Bench, measure
+
+__all__ = ["Bench", "collect", "compare", "measure", "render_text"]

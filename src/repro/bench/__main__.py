@@ -1,0 +1,67 @@
+"""CLI: ``python -m repro.bench [--json PATH] [--check BASELINE]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.report import collect, compare, render_text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Wall-clock micro + macro benchmarks of the engine.",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the result document to PATH")
+    parser.add_argument("--micro-only", action="store_true",
+                        help="skip the macro (fig8/fig12) suite")
+    parser.add_argument("--macro-only", action="store_true",
+                        help="skip the micro suite")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="samples per benchmark (default 3)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="warmup runs per benchmark (default 1)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline JSON; exit 1 on "
+                             "regression")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="regression threshold as a fraction "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+    if args.micro_only and args.macro_only:
+        parser.error("--micro-only and --macro-only are mutually exclusive")
+
+    doc = collect(
+        run_micro=not args.macro_only,
+        run_macro=not args.micro_only,
+        repeat=args.repeat,
+        warmup=args.warmup,
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr),
+    )
+    print(render_text(doc))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        complaints = compare(doc, baseline, threshold=args.threshold)
+        if complaints:
+            print("\nREGRESSIONS vs " + args.check + ":", file=sys.stderr)
+            for line in complaints:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.check} "
+              f"(threshold {args.threshold:.0%})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Macro benchmarks: end-to-end wall-clock of the paper experiments.
+
+The parameter sets are FROZEN -- same scale, client counts, and
+interarrivals on every commit -- so the recorded numbers form a
+comparable trajectory.  Changing them invalidates every older
+``BENCH_*.json``; add a new benchmark name instead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.timing import Bench
+
+FIG8_CLIENTS = (2, 4, 8)
+FIG8_INTERARRIVALS = (0, 20, 60, 100)
+FIG12_CLIENTS = (1, 2, 4, 8)
+
+
+def fig8_smoke() -> None:
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fig8_scan_sharing
+
+    fig8_scan_sharing(
+        SMOKE,
+        client_counts=FIG8_CLIENTS,
+        interarrivals=FIG8_INTERARRIVALS,
+    )
+
+
+def fig12_smoke() -> None:
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fig12_throughput
+
+    fig12_throughput(SMOKE, client_counts=FIG12_CLIENTS)
+
+
+def suite() -> List[Bench]:
+    return [
+        Bench("macro.fig8_smoke", fig8_smoke, "s"),
+        Bench("macro.fig12_smoke", fig12_smoke, "s"),
+    ]

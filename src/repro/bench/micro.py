@@ -1,0 +1,137 @@
+"""Kernel microbenchmarks: operation rates for the hot paths.
+
+Every workload here is deterministic (fixed counts, fixed patterns, no
+RNG, no dataset) so that run-to-run variance is dominated by the host,
+not the benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.timing import Bench
+from repro.engine.buffers import TupleBuffer
+from repro.hw.disk import Disk
+from repro.sim import Channel, ChannelClosed, Simulator
+from repro.storage.bufferpool import BufferPool
+from repro.storage.file import BlockStore
+
+SCHEDULE_EVENTS = 100_000
+TIMEOUT_EVENTS = 50_000
+CANCEL_EVENTS = 50_000
+CHANNEL_BATCHES = 20_000
+BUFFER_BATCHES = 5_000
+POOL_GETS = 20_000
+
+
+def _nop() -> None:
+    pass
+
+
+def schedule_drain() -> None:
+    """Zero-delay scheduling: the now-queue fast path end to end."""
+    sim = Simulator()
+    schedule = sim.schedule
+    for _ in range(SCHEDULE_EVENTS):
+        schedule(0.0, _nop)
+    sim.run()
+
+
+def timeout_heap() -> None:
+    """Delayed scheduling: heap push/pop with a deterministic spread."""
+    sim = Simulator()
+    schedule = sim.schedule
+    for i in range(TIMEOUT_EVENTS):
+        schedule(float((i * 7) % 1000) + 1.0, _nop)
+    sim.run()
+
+
+def cancel_compact() -> None:
+    """Cancel-heavy scheduling: lazy deletion plus heap compaction."""
+    sim = Simulator()
+    entries = [
+        sim.schedule(float((i * 7) % 1000) + 1.0, _nop)
+        for i in range(CANCEL_EVENTS)
+    ]
+    for i, entry in enumerate(entries):
+        if i % 10:  # cancel 90%
+            sim.cancel(entry)
+    sim.run()
+
+
+def channel_batches() -> None:
+    """One producer, one consumer, a bounded channel in between."""
+    sim = Simulator()
+    chan = Channel(sim, capacity=64, name="bench")
+
+    def producer():
+        for i in range(CHANNEL_BATCHES):
+            yield chan.put(i, size=1.0)
+        chan.close()
+
+    def consumer():
+        while True:
+            try:
+                yield chan.get()
+            except ChannelClosed:
+                return
+
+    sim.spawn(producer(), name="bench-producer")
+    sim.spawn(consumer(), name="bench-consumer")
+    sim.run()
+
+
+def tuplebuffer_batches() -> None:
+    """Batch exchange through a TupleBuffer (the per-operator hot path)."""
+    sim = Simulator()
+    buf = TupleBuffer(sim, capacity_tuples=256, name="bench")
+    rows: List[tuple] = [(i, i) for i in range(32)]
+
+    def producer():
+        for _ in range(BUFFER_BATCHES):
+            yield from buf.put(list(rows))
+        buf.close()
+
+    def consumer():
+        while True:
+            batch = yield from buf.get()
+            if batch is None:
+                return
+
+    sim.spawn(producer(), name="bench-producer")
+    sim.spawn(consumer(), name="bench-consumer")
+    sim.run()
+
+
+def pool_hits() -> None:
+    """Buffer-pool gets that always hit (resident working set)."""
+    sim = Simulator()
+    disk = Disk(sim, transfer_time=0.001, seek_time=0.001)
+    store = BlockStore()
+    fid = store.create_file("bench")
+    for i in range(8):
+        store.append_block(fid, ("payload", i))
+    pool = BufferPool(sim=sim, disk=disk, store=store, capacity=16)
+
+    def reader():
+        for i in range(POOL_GETS):
+            yield from pool.get_page(fid, i % 8)
+
+    sim.spawn(reader(), name="bench-reader")
+    sim.run()
+
+
+def suite() -> List[Bench]:
+    return [
+        Bench("micro.schedule_drain", schedule_drain, "events/s",
+              ops=SCHEDULE_EVENTS),
+        Bench("micro.timeout_heap", timeout_heap, "events/s",
+              ops=TIMEOUT_EVENTS),
+        Bench("micro.cancel_compact", cancel_compact, "events/s",
+              ops=CANCEL_EVENTS),
+        Bench("micro.channel_batches", channel_batches, "batches/s",
+              ops=CHANNEL_BATCHES),
+        Bench("micro.tuplebuffer_batches", tuplebuffer_batches, "batches/s",
+              ops=BUFFER_BATCHES),
+        Bench("micro.pool_hits", pool_hits, "pages/s", ops=POOL_GETS),
+    ]

@@ -1,0 +1,117 @@
+"""Result collection, the JSON document, and regression comparison."""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.bench import macro, micro
+from repro.bench.timing import measure
+
+#: Bump when the document layout changes incompatibly.
+DOC_VERSION = 1
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _machine() -> Dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def collect(
+    run_micro: bool = True,
+    run_macro: bool = True,
+    repeat: int = 3,
+    warmup: int = 1,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the selected suites; returns the full JSON-ready document."""
+    benches = []
+    if run_micro:
+        benches.extend(micro.suite())
+    if run_macro:
+        benches.extend(macro.suite())
+    results: Dict[str, Any] = {}
+    for bench in benches:
+        if progress is not None:
+            progress(bench.name)
+        results[bench.name] = measure(bench, repeat=repeat, warmup=warmup)
+    return {
+        "version": DOC_VERSION,
+        "issue": "0004",
+        "git_rev": _git_rev(),
+        "machine": _machine(),
+        "repeat": repeat,
+        "warmup": warmup,
+        "benchmarks": results,
+    }
+
+
+def _fmt(value: float, unit: str) -> str:
+    if unit.endswith("/s"):
+        return f"{value:>12,.0f} {unit}"
+    return f"{value:>12.3f} {unit}"
+
+
+def render_text(doc: Dict[str, Any]) -> str:
+    """Human-readable report of one collected document."""
+    lines = [
+        f"repro.bench v{doc['version']}  rev={doc['git_rev']}  "
+        f"python={doc['machine']['python']}  "
+        f"cpus={doc['machine']['cpu_count']}",
+        f"median of {doc['repeat']} (after {doc['warmup']} warmup)",
+        "",
+    ]
+    for name, rec in doc["benchmarks"].items():
+        lines.append(
+            f"  {name:<28} {_fmt(rec['median'], rec['unit'])}"
+            f"   [p10 {rec['p10']:.4g}, p90 {rec['p90']:.4g}]"
+        )
+    return "\n".join(lines)
+
+
+def compare(
+    doc: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = 0.30,
+) -> List[str]:
+    """Regressions of *doc* vs *baseline* beyond *threshold* (fraction).
+
+    Only benchmarks present in both documents are compared, so adding or
+    retiring a benchmark never breaks the check.  Returns human-readable
+    complaint strings; empty means no regression.
+    """
+    complaints: List[str] = []
+    for name, base in baseline.get("benchmarks", {}).items():
+        current: Optional[Dict[str, Any]] = doc["benchmarks"].get(name)
+        if current is None or not base.get("median"):
+            continue
+        if base.get("higher_is_better", False):
+            change = (base["median"] - current["median"]) / base["median"]
+            direction = "slower"
+        else:
+            change = (current["median"] - base["median"]) / base["median"]
+            direction = "slower"
+        if change > threshold:
+            complaints.append(
+                f"{name}: {current['median']:.4g} vs baseline "
+                f"{base['median']:.4g} {base['unit']} "
+                f"({change:.0%} {direction}, threshold {threshold:.0%})"
+            )
+    return complaints

@@ -1,0 +1,59 @@
+"""Median-of-k wall-clock measurement.
+
+The only module in the tree that legitimately reads the host clock; the
+``DET001`` suppressions below are deliberate and confined to here and
+the macro suite.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One benchmark: a closure plus how to interpret its timing.
+
+    With ``ops`` set, each sample is converted to an operation rate
+    (``ops / elapsed``, higher is better); otherwise the sample is the
+    elapsed wall-clock in seconds (lower is better).
+    """
+
+    name: str
+    fn: Callable[[], Any]
+    unit: str
+    ops: Optional[int] = None
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self.ops is not None
+
+
+def percentile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def measure(bench: Bench, repeat: int = 3, warmup: int = 1) -> Dict[str, Any]:
+    """Run one benchmark; returns its stats record for the JSON report."""
+    for _ in range(warmup):
+        bench.fn()
+    samples: List[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()  # simlint: disable=DET001
+        bench.fn()
+        elapsed = time.perf_counter() - start  # simlint: disable=DET001
+        samples.append(bench.ops / elapsed if bench.ops else elapsed)
+    ordered = sorted(samples)
+    return {
+        "median": percentile(ordered, 50),
+        "p10": percentile(ordered, 10),
+        "p90": percentile(ordered, 90),
+        "samples": samples,
+        "unit": bench.unit,
+        "higher_is_better": bench.higher_is_better,
+    }

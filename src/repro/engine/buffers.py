@@ -45,6 +45,11 @@ class TupleBuffer:
     ready to receive tuples").
     """
 
+    __slots__ = (
+        "sim", "name", "producer", "consumer", "_channel", "_gate",
+        "tuples_in", "tuples_out", "skip_tuples",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -137,23 +142,50 @@ class TupleBuffer:
     def put_with_patience(self, batch: List[tuple], patience: float) -> Generator:
         """Coroutine: like put, but give up after *patience* seconds.
 
-        Returns True when the batch was accepted, False on timeout (the
-        batch was withdrawn whole: nothing was partially delivered).
-        The circular-scan manager uses this to detach consumers that
-        stall the shared scanner (section 3.3: a scan that blocks
-        "will need to detach from the rest of the scans").
+        Returns True when the batch was accepted, False on timeout -- and
+        False guarantees *nothing* was delivered: the batch was withdrawn
+        whole, so the caller may safely re-deliver it later.  The
+        circular-scan manager uses this to detach consumers that stall
+        the shared scanner (section 3.3: a scan that blocks "will need to
+        detach from the rest of the scans").
 
-        The batch must fit the buffer's capacity in one piece.
+        A batch larger than the buffer's capacity cannot be withdrawn
+        whole, so patience applies to its first capacity-sized chunk
+        only: if that chunk times out, nothing was delivered and False is
+        returned; once it is accepted the remainder goes through a plain
+        blocking :meth:`put`, keeping delivery exactly-once even when the
+        patience deadline and the channel accept land on the same
+        timestamp.
         """
         if not batch:
             return True
         batch = self._consume_skip(batch)
         if not batch:
             return True
-        if len(batch) > self._channel.capacity:
-            # Cannot be withdrawn atomically; fall back to blocking put.
-            yield from self.put(batch)
+        capacity = self._channel.capacity
+        if capacity != float("inf") and len(batch) > capacity:
+            step = max(1, int(capacity))
+            delivered = yield from self._put_chunk_with_patience(
+                batch[:step], patience
+            )
+            if not delivered:
+                return False
+            yield from self.put(batch[step:])
             return True
+        delivered = yield from self._put_chunk_with_patience(batch, patience)
+        return delivered
+
+    def _put_chunk_with_patience(
+        self, batch: List[tuple], patience: float
+    ) -> Generator:
+        """Coroutine: offer one capacity-sized chunk, withdrawing on timeout.
+
+        Exactly-once under the deadline/accept race: ``accept.triggered``
+        is set synchronously when the channel takes the chunk, so if both
+        the patience deadline and the accept land on the same timestamp
+        the chunk is either counted (accepted first) or withdrawn before
+        it can be accepted -- never both.
+        """
         accept = self._channel.put(batch, size=len(batch), owner=self.producer)
         if not accept.triggered:
             deadline = self.sim.timeout(patience)
@@ -246,6 +278,11 @@ class FanOut:
     satellite buffers with :meth:`attach` (replaying ring contents first)
     and the operator closes everything with :meth:`close`.
     """
+
+    __slots__ = (
+        "sim", "name", "buffers", "replay_tuples", "_ring", "_ring_size",
+        "total_tuples", "dropped_from_ring", "closed", "_lock",
+    )
 
     def __init__(
         self,

@@ -138,6 +138,32 @@ class Const(Expr):
         return f"Const({self.value!r})"
 
 
+def _bind_binary(fn, left: "Expr", right: "Expr", schema):
+    """Bound evaluator for ``fn(left, right)``, specialised by operand shape.
+
+    Column and constant operands are inlined as a tuple index / captured
+    value instead of a nested bound-lambda call; bound predicates run
+    once per row on the scan hot path, so the two saved frames per row
+    are the bulk of predicate cost (DESIGN.md section 10).
+    """
+    if isinstance(left, Col):
+        li = schema.index_of(left.name)
+        if isinstance(right, Const):
+            rv = right.value
+            return lambda row: fn(row[li], rv)
+        if isinstance(right, Col):
+            ri = schema.index_of(right.name)
+            return lambda row: fn(row[li], row[ri])
+        rfn = right.bind(schema)
+        return lambda row: fn(row[li], rfn(row))
+    if isinstance(right, Const):
+        lfn = left.bind(schema)
+        rv = right.value
+        return lambda row: fn(lfn(row), rv)
+    lfn, rfn = left.bind(schema), right.bind(schema)
+    return lambda row: fn(lfn(row), rfn(row))
+
+
 class Cmp(Expr):
     """A binary comparison."""
 
@@ -150,8 +176,7 @@ class Cmp(Expr):
 
     def bind(self, schema):
         fn = _CMP_OPS[self.op]
-        left, right = self.left.bind(schema), self.right.bind(schema)
-        return lambda row: fn(left(row), right(row))
+        return _bind_binary(fn, self.left, self.right, schema)
 
     def columns(self):
         return self.left.columns() | self.right.columns()
@@ -175,8 +200,7 @@ class Arith(Expr):
 
     def bind(self, schema):
         fn = _ARITH_OPS[self.op]
-        left, right = self.left.bind(schema), self.right.bind(schema)
-        return lambda row: fn(left(row), right(row))
+        return _bind_binary(fn, self.left, self.right, schema)
 
     def columns(self):
         return self.left.columns() | self.right.columns()
@@ -192,7 +216,18 @@ class And(Expr):
         self.terms = terms
 
     def bind(self, schema):
+        # Bound predicates run once per row on the scan/filter hot path;
+        # the common 1-3 term shapes skip the generator-expression frame.
         fns = [t.bind(schema) for t in self.terms]
+        if len(fns) == 1:
+            f0 = fns[0]
+            return lambda row: bool(f0(row))
+        if len(fns) == 2:
+            f0, f1 = fns
+            return lambda row: bool(f0(row) and f1(row))
+        if len(fns) == 3:
+            f0, f1, f2 = fns
+            return lambda row: bool(f0(row) and f1(row) and f2(row))
         return lambda row: all(fn(row) for fn in fns)
 
     def columns(self):
@@ -213,6 +248,15 @@ class Or(Expr):
 
     def bind(self, schema):
         fns = [t.bind(schema) for t in self.terms]
+        if len(fns) == 1:
+            f0 = fns[0]
+            return lambda row: bool(f0(row))
+        if len(fns) == 2:
+            f0, f1 = fns
+            return lambda row: bool(f0(row) or f1(row))
+        if len(fns) == 3:
+            f0, f1, f2 = fns
+            return lambda row: bool(f0(row) or f1(row) or f2(row))
         return lambda row: any(fn(row) for fn in fns)
 
     def columns(self):

@@ -11,6 +11,7 @@ in predicates stays cheap and comparable.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -123,7 +124,12 @@ class Schema:
     def projector(self, names: Sequence[str]):
         """A fast row -> row function selecting *names* in order."""
         idxs = [self.index_of(name) for name in names]
-        return lambda row: tuple(row[i] for i in idxs)
+        if len(idxs) == 1:
+            get = operator.itemgetter(idxs[0])
+            return lambda row: (get(row),)
+        # itemgetter with several indices returns the tuple directly,
+        # without a per-row generator expression.
+        return operator.itemgetter(*idxs)
 
     def signature(self) -> str:
         return ",".join(f"{c.name}:{c.type}" for c in self.columns)

@@ -19,7 +19,16 @@ Public surface:
 """
 
 from repro.sim.errors import Interrupted, SimulationError, StarvationError
-from repro.sim.kernel import AllOf, AnyOf, Event, Process, Simulator, Timeout
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+    fast_paths_enabled,
+    set_fast_paths,
+)
 from repro.sim.sync import (
     Channel,
     ChannelClosed,
@@ -47,4 +56,6 @@ __all__ = [
     "StarvationError",
     "Simulator",
     "Timeout",
+    "fast_paths_enabled",
+    "set_fast_paths",
 ]

@@ -8,11 +8,22 @@ via ``generator.send`` (or ``generator.throw`` on failure/interrupt).
 
 Sub-coroutines compose with ``yield from``; the kernel never needs to know
 about them because the outer generator transparently forwards their yields.
+
+Wall-clock fast path (DESIGN.md section 10): the dominant scheduling
+operation is the *zero-delay* entry -- every triggered event queues its
+callback flush at the current time.  Those entries bypass the heap into a
+FIFO *now-queue*: because the clock never moves backwards and sequence
+numbers grow monotonically, the now-queue is already sorted by the
+``(time, priority, seq)`` contract, so the run loop only has to compare
+its front against the heap top to pop in exactly the order the pure heap
+would have produced.  :func:`set_fast_paths` turns the optimisation off
+globally; the differential tests assert byte-identical traces either way.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.obs.tracer import NULL_TRACER
@@ -24,6 +35,29 @@ URGENT = 0
 NORMAL = 1
 
 PENDING = object()
+
+#: Global switch for the wall-clock fast paths (the kernel's now-queue and
+#: the channel's immediate-completion transfers).  Captured per instance at
+#: construction time; the differential tests flip it to prove the fast and
+#: slow paths produce byte-identical traces.
+_FAST_PATHS = True
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Enable/disable the wall-clock fast paths; returns the prior value.
+
+    Only simulators and channels built *after* the call are affected, so
+    flip it before constructing the system under test.
+    """
+    global _FAST_PATHS
+    previous = _FAST_PATHS
+    _FAST_PATHS = bool(enabled)
+    return previous
+
+
+def fast_paths_enabled() -> bool:
+    """Whether newly built simulators/channels will use the fast paths."""
+    return _FAST_PATHS
 
 
 class Event:
@@ -100,7 +134,7 @@ class Event:
         if self.callbacks is not None:
             self.callbacks.append(callback)
         else:
-            self.sim.schedule(0.0, lambda: callback(self))
+            self.sim.schedule(0.0, callback, self)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         if self.callbacks is not None and callback in self.callbacks:
@@ -149,6 +183,8 @@ class AnyOf(Event):
     ones that have fired by the time the condition is processed).
     """
 
+    __slots__ = ("_events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
@@ -177,6 +213,8 @@ class AllOf(Event):
 
     The value is a dict mapping each event to its value.
     """
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -257,27 +295,33 @@ class Process(Event):
     def _deliver_interrupt(self) -> None:
         if self.triggered or not self._interrupts:
             return
-        exc = self._interrupts.pop(0)
-        self._step(lambda: self.generator.throw(exc))
+        self._step(True, self._interrupts.pop(0))
 
     def _resume(self, event: Optional[Event]) -> None:
         if self.triggered:
             return
         self._target = None
         if self._interrupts:
-            exc = self._interrupts.pop(0)
-            self._step(lambda: self.generator.throw(exc))
+            self._step(True, self._interrupts.pop(0))
         elif event is None:
-            self._step(lambda: self.generator.send(None))
-        elif event.ok:
-            self._step(lambda: self.generator.send(event.value))
+            self._step(False, None)
+        elif event._ok:
+            self._step(False, event._value)
         else:
-            failure = event.value
-            self._step(lambda: self.generator.throw(failure))
+            self._step(True, event._value)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, throwing: bool, payload: Any) -> None:
+        """Advance the generator one step (send or throw) and re-arm.
+
+        Takes the resume mode and payload directly instead of a closure:
+        this runs once per process step and is the kernel's single hottest
+        call site, so it must not allocate.
+        """
         try:
-            target = advance()
+            if throwing:
+                target = self.generator.throw(payload)
+            else:
+                target = self.generator.send(payload)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -324,10 +368,22 @@ class Simulator:
         assert sim.now == 5.0 and proc.value == "done"
     """
 
+    #: Compact the queues once at least this many cancelled entries are
+    #: pending *and* they outnumber the live ones (see :meth:`cancel`).
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self):
         self._now = 0.0
         self._heap: list = []
+        #: Zero-delay NORMAL entries in FIFO order.  Appended at the
+        #: current time with monotonically growing sequence numbers, the
+        #: queue is inherently sorted by ``(time, priority, seq)``; the
+        #: run loop merges it against the heap top, so draining it first
+        #: is exactly order-preserving (no heap round-trip per entry).
+        self._now_queue: deque = deque()
         self._seq = 0
+        self._dead = 0  # lazily-cancelled entries still queued
+        self._use_now_queue = _FAST_PATHS
         self._crashes: list = []
         self.process_count = 0
         #: Observability hook; replaced by :class:`repro.obs.Tracer` when
@@ -357,13 +413,41 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         entry = [self._now + delay, priority, self._seq, callback, args, True]
-        heapq.heappush(self._heap, entry)
+        if delay == 0.0 and priority == NORMAL and self._use_now_queue:
+            self._now_queue.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         return entry
 
-    @staticmethod
-    def cancel(entry: list) -> None:
-        """Cancel a scheduled callback (lazy deletion; no clock effect)."""
-        entry[5] = False
+    def cancel(self, entry: list) -> None:
+        """Cancel a scheduled callback (lazy deletion; no clock effect).
+
+        Dead entries are counted and the queues compacted once they
+        outnumber the live ones, so cancel-heavy workloads (chaos runs,
+        impatient puts) cannot grow the heap without bound.
+        """
+        if entry[5]:
+            entry[5] = False
+            self._dead += 1
+            if (
+                self._dead >= self.COMPACT_MIN_DEAD
+                and self._dead * 2 > len(self._heap) + len(self._now_queue)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop lazily-cancelled entries from both queues in place.
+
+        Filtering preserves relative order, and re-heapifying a set of
+        entries with unique ``(time, priority, seq)`` keys reproduces the
+        exact pop order of the unfiltered heap, so compaction is
+        invisible to virtual time.
+        """
+        self._heap = [e for e in self._heap if e[5]]
+        heapq.heapify(self._heap)
+        if self._now_queue:
+            self._now_queue = deque(e for e in self._now_queue if e[5])
+        self._dead = 0
 
     def _schedule_event(self, event: Event) -> None:
         """Queue an already-triggered event's callback flush."""
@@ -412,22 +496,47 @@ class Simulator:
 
         Returns the final virtual time.
         """
-        while self._heap:
-            time, _priority, _seq, callback, args, live = self._heap[0]
-            if not live:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and time > until:
+        heap = self._heap
+        nowq = self._now_queue
+        heappop = heapq.heappop
+        while True:
+            # Skip lazily-cancelled entries at both fronts.
+            while heap and not heap[0][5]:
+                heappop(heap)
+                self._dead -= 1
+            while nowq and not nowq[0][5]:
+                nowq.popleft()
+                self._dead -= 1
+            # Pop whichever front is smaller by (time, priority, seq) --
+            # the now-queue is FIFO-sorted by construction, so this
+            # reproduces the pure heap's order exactly.
+            if nowq and (not heap or nowq[0] < heap[0]):
+                entry = nowq[0]
+                from_nowq = True
+            elif heap:
+                entry = heap[0]
+                from_nowq = False
+            else:
+                break
+            if until is not None and entry[0] > until:
                 self._now = until
                 break
-            heapq.heappop(self._heap)
-            self._now = time
-            callback(*args)
+            if from_nowq:
+                nowq.popleft()
+            else:
+                heappop(heap)
+            # Mark executed so a late cancel() is a no-op for accounting.
+            entry[5] = False
+            self._now = entry[0]
+            entry[3](*entry[4])
             if self._crashes:
                 process, exc = self._crashes[0]
                 raise SimulationError(
                     f"process {process.name} crashed at t={self._now:.3f}"
                 ) from exc
+            # _compact() may have replaced the deque/heap objects.
+            heap = self._heap
+            nowq = self._now_queue
         return self._now
 
     def run_until_done(self, watched: Iterable[Process]) -> float:

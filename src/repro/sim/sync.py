@@ -17,7 +17,7 @@ from collections import deque
 from typing import Any, Optional
 
 from repro.sim.errors import SimulationError
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Event, Simulator, fast_paths_enabled
 
 
 def _abandoned(event: Event) -> bool:
@@ -47,7 +47,19 @@ class Channel:
     the identities of blocked producers and consumers) because the OSP
     deadlock detector (paper section 4.3.3) builds its waits-for graph
     from exactly this information.
+
+    Fast paths (DESIGN.md section 10): when the peer side is not blocked
+    -- a put with free space and no queued producers, a get with a ready
+    item and no queued consumers -- the transfer completes immediately
+    without entering the :meth:`_balance` matching loop.  The returned
+    event is triggered with the same sequence number `_balance` would
+    have assigned, so wakeup order is byte-identical either way.
     """
+
+    __slots__ = (
+        "sim", "capacity", "name", "_items", "_used", "_putters",
+        "_getters", "_closed", "_fast", "total_put", "total_got",
+    )
 
     def __init__(self, sim: Simulator, capacity: float, name: str = "chan"):
         if capacity <= 0:
@@ -60,6 +72,7 @@ class Channel:
         self._putters: deque = deque()  # (event, item, size, owner)
         self._getters: deque = deque()  # (event, owner)
         self._closed = False
+        self._fast = fast_paths_enabled()
         # Cumulative statistics for the harness.
         self.total_put = 0
         self.total_got = 0
@@ -103,6 +116,22 @@ class Channel:
                 )
             )
             return event
+        if (
+            self._fast
+            and not self._putters
+            and self._used + size <= self.capacity
+        ):
+            # Fast path: space is free and nobody is queued ahead, so
+            # `_balance` would accept this put first thing.  Succeed in the
+            # same order it would have: accept the item, then serve any
+            # blocked consumer the new item unblocks.
+            self._items.append((item, size))
+            self._used += size
+            self.total_put += 1
+            event.succeed()
+            if self._getters:
+                self._balance()
+            return event
         self._putters.append((event, item, size, owner))
         self._balance()
         return event
@@ -111,6 +140,17 @@ class Channel:
         """Dequeue the next item; the returned event fires with it."""
         event = Event(self.sim)
         event.describe = f"get on channel {self.name}"
+        if self._fast and self._items and not self._getters:
+            # Fast path: an item is ready and no consumer is queued ahead,
+            # so `_balance` would serve this get immediately.  Freed space
+            # may in turn admit a blocked producer, in that order.
+            item, size = self._items.popleft()
+            self._used -= size
+            self.total_got += 1
+            event.succeed(item)
+            if self._putters:
+                self._balance()
+            return event
         self._getters.append((event, owner))
         self._balance()
         return event
@@ -136,7 +176,8 @@ class Channel:
         self._items.append((item, size))
         self._used += size
         self.total_put += 1
-        self._balance()
+        if self._getters:
+            self._balance()
         return True
 
     def close(self) -> None:
@@ -219,6 +260,11 @@ class Resource:
             resource.release(grant)
     """
 
+    __slots__ = (
+        "sim", "capacity", "name", "_in_use", "_waiters",
+        "total_acquisitions", "busy_time", "_last_change",
+    )
+
     def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
         if capacity < 1:
             raise ValueError(f"resource capacity must be >= 1: {capacity}")
@@ -288,6 +334,8 @@ class Gate:
     scan packets on a gate that opens when their output buffer is ready.
     """
 
+    __slots__ = ("sim", "_open", "_waiters")
+
     def __init__(self, sim: Simulator, opened: bool = False):
         self.sim = sim
         self._open = opened
@@ -318,6 +366,8 @@ class Gate:
 
 class Semaphore:
     """A counting semaphore with FIFO wakeup."""
+
+    __slots__ = ("sim", "_value", "_waiters")
 
     def __init__(self, sim: Simulator, value: int = 1):
         if value < 0:
@@ -353,6 +403,8 @@ class Semaphore:
 class Lock(Semaphore):
     """A mutex (binary semaphore)."""
 
+    __slots__ = ()
+
     def __init__(self, sim: Simulator):
         super().__init__(sim, value=1)
 
@@ -363,6 +415,8 @@ class Condition:
     Because the simulation kernel executes one callback at a time there is
     no data race to guard; the condition is purely a wait/notify channel.
     """
+
+    __slots__ = ("sim", "_waiters")
 
     def __init__(self, sim: Simulator):
         self.sim = sim

@@ -97,6 +97,19 @@ class Page:
             raise ValueError(f"slot {slot} is occupied")
         self._slots[slot] = row
 
+    def extend(self, rows: List[tuple]) -> int:
+        """Bulk-append up to the remaining capacity; returns rows taken.
+
+        Equivalent to repeated :meth:`insert` (same slots, same order);
+        the dataset loader uses it to fill pages without a per-row call.
+        """
+        free = self.capacity - len(self._slots)
+        if free <= 0:
+            return 0
+        taken = rows[:free]
+        self._slots.extend(taken)
+        return len(taken)
+
     def rows(self) -> List[tuple]:
         """All live rows in slot order."""
         return [row for row in self._slots if row is not None]

@@ -12,12 +12,21 @@ pool accepts any of them:
 
 A policy tracks the set of resident keys and answers one question: *which
 resident, evictable key should go next?*
+
+Hot-path audit (DESIGN.md section 10): every ``on_hit`` here is O(1).
+The ``victim`` scans in LRU/MRU/2Q/ARC start at the eviction-order front
+and only walk past *pinned* entries, so they are O(pinned prefix), not
+O(resident); LRU-K is the one policy whose backward-K-distance ranking
+has no natural queue order, so it keeps a lazy min-heap of ``(rank,
+insertion, version, key)`` entries -- stale versions are skipped on pop,
+making ``victim`` amortised O(log n) instead of a full resident scan.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict, deque
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 Key = Hashable
 Evictable = Callable[[Key], bool]
@@ -159,16 +168,40 @@ class LRUK(ReplacementPolicy):
             raise ValueError(f"k must be >= 1: {k}")
         self.k = k
         self._history: Dict[Key, deque] = {}
-        self._resident: Dict[Key, bool] = {}
+        #: key -> insertion sequence number of its current residency; the
+        #: heap tie-break on this number reproduces the resident-dict
+        #: iteration order the old linear scan used, so victims (and
+        #: therefore pool contents and traces) are unchanged.
+        self._resident: Dict[Key, int] = {}
+        self._version: Dict[Key, int] = {}
+        #: Lazy min-heap of (rank, insertion, version, key); an entry is
+        #: current iff both insertion and version match the dicts.
+        self._heap: List[Tuple] = []
         self._tick = 0
+        self._ins_seq = 0
 
     def _touch(self, key):
         self._tick += 1
         hist = self._history.setdefault(key, deque(maxlen=self.k))
         hist.append(self._tick)
+        ins = self._resident.get(key)
+        if ins is not None:
+            version = self._version.get(key, 0) + 1
+            self._version[key] = version
+            heapq.heappush(self._heap, (self._kth_ref(key), ins, version, key))
+            if len(self._heap) > 4 * len(self._resident) + 64:
+                self._rebuild()
+
+    def _rebuild(self):
+        self._heap = [
+            (self._kth_ref(key), ins, self._version.get(key, 0), key)
+            for key, ins in self._resident.items()
+        ]
+        heapq.heapify(self._heap)
 
     def on_insert(self, key):
-        self._resident[key] = True
+        self._ins_seq += 1
+        self._resident[key] = self._ins_seq
         self._touch(key)
 
     def on_hit(self, key):
@@ -185,14 +218,31 @@ class LRUK(ReplacementPolicy):
         return hist[0]
 
     def victim(self, evictable):
-        best_key, best_rank = None, None
-        for key in self._resident:
-            if not evictable(key):
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
+        pinned: List[Tuple] = []
+        found = None
+        while heap:
+            rank, ins, version, key = heap[0]
+            if (
+                self._resident.get(key) != ins
+                or self._version.get(key, 0) != version
+            ):
+                heappop(heap)  # stale: key evicted or re-referenced since
                 continue
-            rank = self._kth_ref(key)
-            if best_rank is None or rank < best_rank:
-                best_key, best_rank = key, rank
-        return best_key
+            entry = heappop(heap)
+            if evictable(key):
+                found = entry
+                break
+            pinned.append(entry)
+        # Unevictable entries (and the winner, in case the pool declines
+        # to evict it) go back for the next call.
+        for entry in pinned:
+            heappush(heap, entry)
+        if found is None:
+            return None
+        heappush(heap, found)
+        return found[3]
 
 
 class TwoQ(ReplacementPolicy):

@@ -44,8 +44,28 @@ class TpchScale:
         return max(3, int(100 * self.factor))
 
 
+#: Memo for generated datasets, keyed by (factor, seed).  Generation is a
+#: pure function of those two values, and regenerating identical tables
+#: for every experiment data point dominated macro wall-clock (DESIGN.md
+#: section 10).  Rows are immutable tuples; callers get fresh list copies
+#: so loaded tables stay independent of the cache.
+_GENERATED_CACHE: Dict[tuple, Dict[str, List[tuple]]] = {}
+_GENERATED_CACHE_MAX = 8
+
+
 def generate_tpch(scale: TpchScale, seed: int = 1) -> Dict[str, List[tuple]]:
     """All eight tables as row lists, keyed by table name."""
+    key = (scale.factor, seed)
+    cached = _GENERATED_CACHE.get(key)
+    if cached is None:
+        cached = _generate_tpch(scale, seed)
+        if len(_GENERATED_CACHE) >= _GENERATED_CACHE_MAX:
+            _GENERATED_CACHE.pop(next(iter(_GENERATED_CACHE)))
+        _GENERATED_CACHE[key] = cached
+    return {name: list(rows) for name, rows in cached.items()}
+
+
+def _generate_tpch(scale: TpchScale, seed: int) -> Dict[str, List[tuple]]:
     rng = random.Random(seed)
     tables: Dict[str, List[tuple]] = {}
 

@@ -80,15 +80,28 @@ def _rows(n: int, rng: random.Random) -> List[tuple]:
     return rows
 
 
+#: Memo keyed by (big_rows, seed) -- generation is a pure function of
+#: them (see the TPC-H twin in :mod:`repro.workloads.tpch.dbgen`).
+_GENERATED_CACHE: Dict[tuple, Dict[str, List[tuple]]] = {}
+_GENERATED_CACHE_MAX = 8
+
+
 def generate_wisconsin(
     scale: WisconsinScale, seed: int = 5
 ) -> Dict[str, List[tuple]]:
-    rng = random.Random(seed)
-    return {
-        "big1": _rows(scale.big_rows, rng),
-        "big2": _rows(scale.big_rows, rng),
-        "small": _rows(scale.small_rows, rng),
-    }
+    key = (scale.big_rows, seed)
+    cached = _GENERATED_CACHE.get(key)
+    if cached is None:
+        rng = random.Random(seed)
+        cached = {
+            "big1": _rows(scale.big_rows, rng),
+            "big2": _rows(scale.big_rows, rng),
+            "small": _rows(scale.small_rows, rng),
+        }
+        if len(_GENERATED_CACHE) >= _GENERATED_CACHE_MAX:
+            _GENERATED_CACHE.pop(next(iter(_GENERATED_CACHE)))
+        _GENERATED_CACHE[key] = cached
+    return {name: list(rows) for name, rows in cached.items()}
 
 
 def load_wisconsin(

@@ -1,0 +1,180 @@
+"""Tests for the :mod:`repro.bench` perf-regression harness.
+
+The benchmarks themselves measure wall-clock and so cannot assert
+timing; these tests pin the *harness* -- document layout, regression
+comparison in both directions, percentile math, and a one-repeat CLI
+smoke run of the micro suite.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import Bench, collect, compare, measure
+from repro.bench.timing import percentile
+
+REPO = Path(__file__).resolve().parents[1]
+
+MICRO_NAMES = {
+    "micro.schedule_drain",
+    "micro.timeout_heap",
+    "micro.cancel_compact",
+    "micro.channel_batches",
+    "micro.tuplebuffer_batches",
+    "micro.pool_hits",
+}
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+def test_percentile_nearest_rank():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(samples, 50) == 3.0
+    assert percentile(samples, 10) == 1.0
+    assert percentile(samples, 90) == 5.0
+    assert percentile([7.0], 50) == 7.0
+
+
+def test_measure_record_shape():
+    calls = []
+    bench = Bench("t.counted", lambda: calls.append(1), "ops/s", ops=100)
+    rec = measure(bench, repeat=3, warmup=2)
+    assert len(calls) == 5  # warmups run the closure too
+    assert rec["higher_is_better"] is True
+    assert rec["unit"] == "ops/s"
+    assert len(rec["samples"]) == 3
+    assert rec["p10"] <= rec["median"] <= rec["p90"]
+
+
+def test_measure_elapsed_mode_lower_is_better():
+    rec = measure(Bench("t.sleepless", lambda: None, "s"), repeat=2,
+                  warmup=0)
+    assert rec["higher_is_better"] is False
+    assert all(s >= 0.0 for s in rec["samples"])
+
+
+# ---------------------------------------------------------------------------
+# compare(): the CI regression gate
+# ---------------------------------------------------------------------------
+def _doc(**medians):
+    return {
+        "benchmarks": {
+            name: {
+                "median": median,
+                "unit": unit,
+                "higher_is_better": higher,
+            }
+            for name, (median, unit, higher) in medians.items()
+        }
+    }
+
+
+def test_compare_flags_lower_is_better_regression():
+    baseline = _doc(**{"macro.fig8": (1.0, "s", False)})
+    slower = _doc(**{"macro.fig8": (1.5, "s", False)})
+    complaints = compare(slower, baseline, threshold=0.30)
+    assert len(complaints) == 1
+    assert "macro.fig8" in complaints[0]
+
+
+def test_compare_accepts_lower_is_better_improvement():
+    baseline = _doc(**{"macro.fig8": (1.0, "s", False)})
+    faster = _doc(**{"macro.fig8": (0.4, "s", False)})
+    assert compare(faster, baseline, threshold=0.30) == []
+
+
+def test_compare_flags_higher_is_better_regression():
+    baseline = _doc(**{"micro.drain": (1_000_000.0, "events/s", True)})
+    slower = _doc(**{"micro.drain": (500_000.0, "events/s", True)})
+    complaints = compare(slower, baseline, threshold=0.30)
+    assert len(complaints) == 1
+
+
+def test_compare_accepts_higher_is_better_improvement():
+    baseline = _doc(**{"micro.drain": (1_000_000.0, "events/s", True)})
+    faster = _doc(**{"micro.drain": (2_000_000.0, "events/s", True)})
+    assert compare(faster, baseline, threshold=0.30) == []
+
+
+def test_compare_threshold_is_exclusive():
+    # 5.0/4.0 is exactly a 25% change in binary floating point.
+    baseline = _doc(**{"macro.fig8": (4.0, "s", False)})
+    at_threshold = _doc(**{"macro.fig8": (5.0, "s", False)})
+    assert compare(at_threshold, baseline, threshold=0.25) == []
+    just_over = _doc(**{"macro.fig8": (5.2, "s", False)})
+    assert len(compare(just_over, baseline, threshold=0.25)) == 1
+
+
+def test_compare_skips_benchmarks_missing_from_either_side():
+    baseline = _doc(**{
+        "macro.retired": (1.0, "s", False),
+        "macro.kept": (1.0, "s", False),
+    })
+    current = _doc(**{
+        "macro.kept": (1.0, "s", False),
+        "macro.brand_new": (99.0, "s", False),
+    })
+    assert compare(current, baseline, threshold=0.30) == []
+
+
+# ---------------------------------------------------------------------------
+# collect() and the committed baseline
+# ---------------------------------------------------------------------------
+def test_committed_baseline_layout():
+    with open(REPO / "BENCH_0004.json") as fh:
+        doc = json.load(fh)
+    assert doc["version"] == 1
+    assert doc["issue"] == "0004"
+    assert MICRO_NAMES <= set(doc["benchmarks"])
+    assert {"macro.fig8_smoke", "macro.fig12_smoke"} <= set(
+        doc["benchmarks"]
+    )
+    for rec in doc["benchmarks"].values():
+        assert {"median", "p10", "p90", "samples", "unit",
+                "higher_is_better"} <= set(rec)
+
+
+@pytest.mark.slow
+def test_collect_micro_runs_every_benchmark():
+    doc = collect(run_micro=True, run_macro=False, repeat=1, warmup=0)
+    assert set(doc["benchmarks"]) == MICRO_NAMES
+    assert doc["repeat"] == 1
+    for rec in doc["benchmarks"].values():
+        assert rec["median"] > 0
+
+
+# ---------------------------------------------------------------------------
+# the CLI
+# ---------------------------------------------------------------------------
+def _run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.bench", *args],
+        cwd=str(cwd), env=env, capture_output=True, text=True,
+    )
+
+
+@pytest.mark.slow
+def test_cli_micro_smoke_writes_json(tmp_path):
+    out = tmp_path / "bench.json"
+    proc = _run_cli(
+        ["--micro-only", "--repeat", "1", "--warmup", "0",
+         "--json", str(out)],
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(out.read_text())
+    assert set(doc["benchmarks"]) == MICRO_NAMES
+    assert "repro.bench" in proc.stdout
+
+
+def test_cli_rejects_micro_and_macro_only(tmp_path):
+    proc = _run_cli(["--micro-only", "--macro-only"], cwd=tmp_path)
+    assert proc.returncode == 2
+    assert "mutually exclusive" in proc.stderr

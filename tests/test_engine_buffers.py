@@ -148,6 +148,90 @@ def test_put_with_patience_succeeds_when_space_frees():
     assert log == [(True, 3.0)]
 
 
+def _run_patience_race(batch_size, consume_at, spawn_consumer_first):
+    """One deadline/accept race; returns (ok, delivered rows, buffer).
+
+    A full capacity-4 buffer, a ``put_with_patience(..., patience=5)``,
+    and a consumer that frees space at exactly *consume_at* -- with
+    ``consume_at == 5.0`` the channel accept and the patience deadline
+    land on the same timestamp.  Spawn order flips which event gets the
+    smaller sequence number, so both resolutions of the tie are covered.
+    """
+    sim = Simulator()
+    buf = TupleBuffer(sim, 4)
+    assert buf.try_put([("pre", i) for i in range(4)])
+    batch = [("b", i) for i in range(batch_size)]
+    outcome = []
+    received = []
+
+    def producer():
+        ok = yield from buf.put_with_patience(list(batch), patience=5.0)
+        outcome.append(ok)
+        buf.close()
+
+    def consumer():
+        yield sim.timeout(consume_at)
+        while True:
+            got = yield from buf.get()
+            if got is None:
+                return
+            received.extend(got)
+
+    if spawn_consumer_first:
+        sim.spawn(consumer())
+        sim.spawn(producer())
+    else:
+        sim.spawn(producer())
+        sim.spawn(consumer())
+    sim.run()
+    prefix = [("pre", i) for i in range(4)]
+    assert received[:4] == prefix
+    return outcome[0], received[4:], buf
+
+
+@pytest.mark.parametrize("spawn_consumer_first", [True, False])
+@pytest.mark.parametrize("batch_size", [3, 10])
+def test_patience_deadline_accept_same_timestamp_exactly_once(
+    batch_size, spawn_consumer_first
+):
+    """Deadline and accept at the same instant: delivered once or not at
+    all -- never twice, never partially, for both the in-capacity batch
+    and the oversized (chunked fallback) batch."""
+    ok, delivered, buf = _run_patience_race(
+        batch_size, consume_at=5.0, spawn_consumer_first=spawn_consumer_first
+    )
+    batch = [("b", i) for i in range(batch_size)]
+    if ok:
+        assert delivered == batch
+        assert buf.tuples_in == 4 + batch_size
+    else:
+        assert delivered == []
+        assert buf.tuples_in == 4
+
+
+@pytest.mark.parametrize("batch_size", [3, 10])
+def test_patience_timeout_withdraws_whole_batch(batch_size):
+    """A consumer slower than patience: False, and nothing delivered --
+    including for a batch larger than capacity, which previously fell
+    back to an unbounded blocking put."""
+    ok, delivered, buf = _run_patience_race(
+        batch_size, consume_at=9.0, spawn_consumer_first=True
+    )
+    assert ok is False
+    assert delivered == []
+    assert buf.tuples_in == 4
+
+
+def test_patience_oversized_batch_delivered_once_when_space_frees():
+    ok, delivered, buf = _run_patience_race(
+        10, consume_at=2.0, spawn_consumer_first=True
+    )
+    assert ok is True
+    assert delivered == [("b", i) for i in range(10)]
+    assert buf.tuples_in == 14
+    assert buf.tuples_out == 14
+
+
 def test_materialize_removes_backpressure():
     sim = Simulator()
     buf = TupleBuffer(sim, 2)

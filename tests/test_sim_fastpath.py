@@ -1,0 +1,191 @@
+"""The wall-clock fast paths change nothing about virtual time.
+
+Three layers of evidence (DESIGN.md section 10):
+
+* a property test pinning same-timestamp execution order -- ``priority``
+  then ``seq`` -- across the now-queue fast path vs. the pure heap path,
+  over randomized schedule mixes including nested scheduling;
+* a differential test running one fig8 cell with fast paths force-
+  disabled vs. enabled, asserting byte-identical JSONL traces and equal
+  metrics;
+* a bound on queue growth under cancel-heavy workloads (the lazy-
+  deletion leak fix).
+"""
+
+import random
+
+import pytest
+
+from repro.harness.config import SMOKE, build_tpch_system, with_overrides
+from repro.obs import Tracer, jsonl_dumps
+from repro.sim import Simulator, fast_paths_enabled, set_fast_paths
+from repro.workloads.clients import ClosedLoopClient, run_workload
+from repro.workloads.tpch import queries as Q
+
+
+@pytest.fixture
+def slow_paths():
+    previous = set_fast_paths(False)
+    try:
+        yield
+    finally:
+        set_fast_paths(previous)
+
+
+def record_execution_order(seed, fast):
+    """One randomized schedule mix; returns the callback execution order.
+
+    Mixes zero-delay NORMAL entries (now-queue candidates), zero-delay
+    URGENT entries, delayed entries, nested re-scheduling, and a sprinkle
+    of cancellations -- all driven by the same seeded RNG so the fast and
+    slow runs build identical schedules.
+    """
+    previous = set_fast_paths(fast)
+    try:
+        sim = Simulator()
+        rng = random.Random(seed)
+        order = []
+        entries = []
+
+        def hit(tag, depth):
+            order.append((sim.now, tag))
+            if depth > 0 and rng.random() < 0.4:
+                # Nested scheduling from inside a callback.
+                entries.append(
+                    sim.schedule(
+                        rng.choice([0.0, 0.0, 1.0]),
+                        hit,
+                        f"{tag}.n",
+                        depth - 1,
+                        priority=rng.choice([0, 1]),
+                    )
+                )
+
+        for i in range(200):
+            delay = rng.choice([0.0, 0.0, 0.0, 1.0, 2.5, 7.0])
+            priority = rng.choice([0, 1, 1, 1])
+            entries.append(sim.schedule(delay, hit, str(i), 2,
+                                        priority=priority))
+        def cancelled_ran(*_args):
+            raise AssertionError("cancelled entry executed")
+
+        for i, entry in enumerate(entries[:200]):
+            if rng.random() < 0.15:
+                sim.cancel(entry)
+                # Cancelled callbacks must never run.
+                entry[3] = cancelled_ran
+        sim.run()
+        return order
+    finally:
+        set_fast_paths(previous)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_same_timestamp_ordering_matches_pure_heap(seed):
+    assert record_execution_order(seed, fast=True) == \
+        record_execution_order(seed, fast=False)
+
+
+def test_set_fast_paths_round_trip():
+    original = fast_paths_enabled()
+    previous = set_fast_paths(False)
+    assert previous == original
+    assert fast_paths_enabled() is False
+    set_fast_paths(original)
+    assert fast_paths_enabled() == original
+
+
+def test_until_boundary_identical_fast_and_slow():
+    for fast in (True, False):
+        previous = set_fast_paths(fast)
+        try:
+            sim = Simulator()
+            seen = []
+            sim.schedule(0.0, seen.append, "a")
+            sim.schedule(5.0, seen.append, "b")
+            sim.schedule(10.0, seen.append, "c")
+            assert sim.run(until=5.0) == 5.0
+            assert seen == ["a", "b"]
+            assert sim.now == 5.0
+            assert sim.run() == 10.0
+            assert seen == ["a", "b", "c"]
+        finally:
+            set_fast_paths(previous)
+
+
+def test_cancel_heavy_workload_keeps_queues_bounded():
+    """Lazy deletion must not grow the heap without bound (leak fix)."""
+    sim = Simulator()
+
+    def nop():
+        pass
+
+    high_water = 0
+    for round_no in range(200):
+        entries = [sim.schedule(1.0 + i * 0.001, nop) for i in range(100)]
+        for entry in entries[:95]:
+            sim.cancel(entry)
+        high_water = max(
+            high_water, len(sim._heap) + len(sim._now_queue)
+        )
+    # 200 rounds x 95 cancelled entries would be ~19000 dead entries
+    # without compaction; the live population is ~1000.
+    live = 200 * 5
+    assert high_water < 4 * live + 2 * Simulator.COMPACT_MIN_DEAD
+    sim.run()
+
+
+def test_compaction_preserves_execution_order():
+    sim = Simulator()
+    order = []
+    entries = [
+        sim.schedule(float((i * 13) % 50), order.append, i)
+        for i in range(500)
+    ]
+    expected = sorted(
+        (e[0], e[2], e[4][0]) for i, e in enumerate(entries) if i % 7
+    )
+    for i, entry in enumerate(entries):
+        if i % 7 == 0:
+            sim.cancel(entry)
+    sim.run()
+    assert order == [tag for (_t, _s, tag) in expected]
+
+
+def run_fig8_cell():
+    scale = with_overrides(SMOKE, tpch_factor=0.02)
+    host, sm, engine = build_tpch_system(scale, "qpipe")
+    tracer = Tracer(host.sim)
+    clients = [
+        ClosedLoopClient(
+            i,
+            lambda rng, i=i: Q.q6(random.Random(100 + i)),
+            queries=1,
+            start_delay=i * 10.0,
+        )
+        for i in range(2)
+    ]
+    metrics = run_workload(engine, clients, seed=5)
+    return jsonl_dumps(tracer.events), metrics
+
+
+def test_fig8_cell_identical_with_fast_paths_disabled(slow_paths):
+    blob_slow, metrics_slow = run_fig8_cell()
+    set_fast_paths(True)
+    blob_fast, metrics_fast = run_fig8_cell()
+
+    assert blob_fast  # tracing recorded something
+    assert blob_fast == blob_slow
+    assert metrics_fast.makespan == metrics_slow.makespan
+    assert metrics_fast.blocks_read == metrics_slow.blocks_read
+    assert metrics_fast.pool_hit_ratio == metrics_slow.pool_hit_ratio
+    assert [r.rows for r in metrics_fast.results] == [
+        r.rows for r in metrics_slow.results
+    ]
+    assert [
+        (r.submitted_at, r.started_at, r.finished_at)
+        for r in metrics_fast.results
+    ] == [
+        (r.submitted_at, r.started_at, r.finished_at)
+        for r in metrics_slow.results
+    ]
