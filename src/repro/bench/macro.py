@@ -15,6 +15,9 @@ from repro.bench.timing import Bench
 FIG8_CLIENTS = (2, 4, 8)
 FIG8_INTERARRIVALS = (0, 20, 60, 100)
 FIG12_CLIENTS = (1, 2, 4, 8)
+#: Worker count of the parallel variants (also frozen: the par4 numbers
+#: only form a trajectory if the pool width never moves).
+PAR_JOBS = 4
 
 
 def fig8_smoke() -> None:
@@ -35,8 +38,43 @@ def fig12_smoke() -> None:
     fig12_throughput(SMOKE, client_counts=FIG12_CLIENTS)
 
 
+def _run_parallel(specs) -> None:
+    from repro.parallel import PoolRunner
+
+    with PoolRunner(jobs=PAR_JOBS) as runner:
+        runner.run(specs)
+
+
+def fig8_smoke_par4() -> None:
+    """The same cells as ``fig8_smoke``, through a 4-worker pool.
+
+    Measures the fabric's end-to-end overhead (spawn, pickling, marker
+    files) against the serial trajectory; on multi-core machines it also
+    tracks the realized speedup.
+    """
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fig8_cells
+
+    _run_parallel(
+        fig8_cells(
+            SMOKE,
+            client_counts=FIG8_CLIENTS,
+            interarrivals=FIG8_INTERARRIVALS,
+        )
+    )
+
+
+def fig12_smoke_par4() -> None:
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fig12_cells
+
+    _run_parallel(fig12_cells(SMOKE, client_counts=FIG12_CLIENTS))
+
+
 def suite() -> List[Bench]:
     return [
         Bench("macro.fig8_smoke", fig8_smoke, "s"),
         Bench("macro.fig12_smoke", fig12_smoke, "s"),
+        Bench("macro.fig8_smoke_par4", fig8_smoke_par4, "s"),
+        Bench("macro.fig12_smoke_par4", fig12_smoke_par4, "s"),
     ]

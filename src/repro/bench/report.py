@@ -54,7 +54,7 @@ def collect(
         results[bench.name] = measure(bench, repeat=repeat, warmup=warmup)
     return {
         "version": DOC_VERSION,
-        "issue": "0004",
+        "issue": "0005",
         "git_rev": _git_rev(),
         "machine": _machine(),
         "repeat": repeat,
@@ -86,32 +86,53 @@ def render_text(doc: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def threshold_for(
+    name: str,
+    threshold: float,
+    overrides: Optional[Dict[str, float]] = None,
+) -> float:
+    """The tolerance for one benchmark: the longest matching name
+    prefix in *overrides* wins, else the default *threshold*."""
+    best = threshold
+    best_len = -1
+    for prefix, value in (overrides or {}).items():
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best, best_len = value, len(prefix)
+    return best
+
+
 def compare(
     doc: Dict[str, Any],
     baseline: Dict[str, Any],
     threshold: float = 0.30,
+    overrides: Optional[Dict[str, float]] = None,
 ) -> List[str]:
-    """Regressions of *doc* vs *baseline* beyond *threshold* (fraction).
+    """Regressions of *doc* vs *baseline* beyond the tolerance.
 
-    Only benchmarks present in both documents are compared, so adding or
-    retiring a benchmark never breaks the check.  Returns human-readable
-    complaint strings; empty means no regression.
+    *threshold* is the default fractional tolerance; *overrides* maps
+    benchmark-name prefixes to looser or tighter values (the macro
+    experiments run whole figures, so their wall-clock is noisier than
+    the micro kernels and gets a wider band).  Only benchmarks present
+    in both documents are compared, so adding or retiring a benchmark
+    never breaks the check.  Returns human-readable complaint strings;
+    empty means no regression.
     """
     complaints: List[str] = []
     for name, base in baseline.get("benchmarks", {}).items():
         current: Optional[Dict[str, Any]] = doc["benchmarks"].get(name)
         if current is None or not base.get("median"):
             continue
+        tolerance = threshold_for(name, threshold, overrides)
         if base.get("higher_is_better", False):
             change = (base["median"] - current["median"]) / base["median"]
             direction = "slower"
         else:
             change = (current["median"] - base["median"]) / base["median"]
             direction = "slower"
-        if change > threshold:
+        if change > tolerance:
             complaints.append(
                 f"{name}: {current['median']:.4g} vs baseline "
                 f"{base['median']:.4g} {base['unit']} "
-                f"({change:.0%} {direction}, threshold {threshold:.0%})"
+                f"({change:.0%} {direction}, threshold {tolerance:.0%})"
             )
     return complaints

@@ -15,6 +15,8 @@ from repro.harness.config import (
     enable_tracing,
 )
 from repro.harness.experiments import (
+    FIGURES,
+    Figure,
     chaos,
     render_chaos,
     fig1a_breakdown,
@@ -36,6 +38,8 @@ from repro.harness.report import Series
 
 __all__ = [
     "DEFAULT",
+    "FIGURES",
+    "Figure",
     "SMOKE",
     "Scale",
     "Series",

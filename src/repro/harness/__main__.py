@@ -5,7 +5,12 @@ Examples::
     python -m repro.harness list
     python -m repro.harness fig8
     python -m repro.harness fig12 --scale default
-    python -m repro.harness all --scale smoke
+    python -m repro.harness all --scale smoke --jobs 4 --cache
+
+Figures are declarative cell lists (:mod:`repro.harness.experiments`),
+so ``--jobs N`` executes their cells on a process pool and ``--cache``
+serves previously computed cells from the content-addressed cache --
+both without changing a byte of the rendered output.
 """
 
 from __future__ import annotations
@@ -17,71 +22,13 @@ import time
 
 from repro.harness import (
     DEFAULT,
+    FIGURES,
     SMOKE,
     chaos,
     render_chaos,
-    collected_tracers,
-    disable_tracing,
-    enable_tracing,
-    ablation_circular_wraparound,
-    ablation_late_activation,
-    ablation_replacement_policies,
-    ablation_replay_ring,
-    fig1a_breakdown,
-    fig1b_throughput,
-    fig4_wop,
-    fig8_scan_sharing,
-    fig9_ordered_scans,
-    fig10_sort_merge,
-    fig11_hash_join,
-    fig12_throughput,
-    fig13_think_time,
-    osp_overhead,
 )
-
-
-def _render_fig1a(scale):
-    _rows, rendered = fig1a_breakdown(scale)
-    return rendered
-
-
-def _render_fig8(scale):
-    out = fig8_scan_sharing(scale)
-    return "\n\n".join(out[n].render() for n in sorted(out))
-
-
-def _render_overhead(scale):
-    result = osp_overhead(scale)
-    return (
-        "OSP coordinator overhead (no sharing opportunities):\n"
-        f"  makespan OSP on : {result['makespan_osp_on']:.1f} s\n"
-        f"  makespan OSP off: {result['makespan_osp_off']:.1f} s\n"
-        f"  ratio           : {result['overhead_ratio']:.4f}"
-    )
-
-
-FIGURES = {
-    "fig1a": _render_fig1a,
-    "fig1b": lambda scale: fig1b_throughput(scale).render(),
-    "fig4": lambda scale: fig4_wop(scale).render(),
-    "fig8": _render_fig8,
-    "fig9": lambda scale: fig9_ordered_scans(scale).render(),
-    "fig10": lambda scale: fig10_sort_merge(scale).render(),
-    "fig11": lambda scale: fig11_hash_join(scale).render(),
-    "fig12": lambda scale: fig12_throughput(scale).render(),
-    "fig13": lambda scale: fig13_think_time(scale).render(),
-    "overhead": _render_overhead,
-    "ablation-policies": lambda scale: (
-        ablation_replacement_policies(scale).render()
-    ),
-    "ablation-replay": lambda scale: ablation_replay_ring(scale).render(),
-    "ablation-wraparound": lambda scale: (
-        ablation_circular_wraparound(scale).render()
-    ),
-    "ablation-late-activation": lambda scale: (
-        ablation_late_activation(scale).render()
-    ),
-}
+from repro.parallel import CellCache, CellError, PoolRunner
+from repro.parallel.cache import DEFAULT_DIR as CACHE_DIR
 
 SCALES = {"smoke": SMOKE, "default": DEFAULT}
 
@@ -102,12 +49,47 @@ def main(argv=None) -> int:
         help="experiment scale preset (default: smoke)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for cell execution (default: 1 = serial "
+            "in-process; 0 = one per CPU); output is byte-identical "
+            "for every N"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        default=False,
+        help="serve unchanged cells from the content-addressed cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        help="disable the cell cache (the default)",
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="delete the cell cache before running",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=CACHE_DIR,
+        metavar="DIR",
+        help="cell cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
         help=(
             "record packet-lifecycle traces; writes one JSONL and one "
-            "Chrome trace_event file per simulated host into DIR"
+            "Chrome trace_event file per cell-built host into DIR, plus "
+            "a merged per-figure JSONL (bypasses cache reads)"
         ),
     )
     parser.add_argument(
@@ -126,59 +108,95 @@ def main(argv=None) -> int:
         return 0
 
     if args.figure == "chaos":
-        scale = SCALES[args.scale]
-        # Wall-clock here measures the *host*, never sim behaviour.
-        start = time.time()  # simlint: disable=DET001
-        result = chaos(scale, fault_seed=args.fault_seed)
-        print(render_chaos(result))
-        elapsed = time.time() - start  # simlint: disable=DET001
-        print(f"[chaos @ {scale.name}: {elapsed:.1f}s wall]")
-        if args.trace is not None:
-            from repro.obs import write_jsonl
-
-            os.makedirs(args.trace, exist_ok=True)
-            path = os.path.join(
-                args.trace, f"chaos-seed{args.fault_seed}.jsonl"
-            )
-            write_jsonl(result["events"], path)
-            print(f"[trace: {path} ({len(result['events'])} events)]")
-        return 1 if result["violations"] else 0
+        return _run_chaos(args)
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]
     unknown = [n for n in names if n not in FIGURES]
     if unknown:
-        parser.error(
-            f"unknown figure {unknown[0]!r}; try 'list'"
-        )
+        parser.error(f"unknown figure {unknown[0]!r}; try 'list'")
+
+    cache = None
+    if args.cache_clear:
+        CellCache(args.cache_dir).clear()
+    if args.cache:
+        cache = CellCache(args.cache_dir)
+
     scale = SCALES[args.scale]
-    for name in names:
-        if args.trace is not None:
-            enable_tracing()
-        # Wall-clock here measures the *host*, never sim behaviour.
-        start = time.time()  # simlint: disable=DET001
-        print(FIGURES[name](scale))
-        elapsed = time.time() - start  # simlint: disable=DET001
-        print(f"[{name} @ {scale.name}: {elapsed:.1f}s wall]\n")
-        if args.trace is not None:
-            _dump_traces(args.trace, name)
-    if args.trace is not None:
-        disable_tracing()
+    tracing = args.trace is not None
+    try:
+        with PoolRunner(jobs=args.jobs, cache=cache, trace=tracing) as runner:
+            for name in names:
+                # Wall-clock here measures the *host*, never sim behaviour.
+                start = time.time()  # simlint: disable=DET001
+                specs = FIGURES[name].cells(scale)
+                results = runner.run(specs)
+                payloads = {s: r.payload for s, r in results.items()}
+                print(FIGURES[name].render(specs, payloads))
+                elapsed = time.time() - start  # simlint: disable=DET001
+                print(f"[{name} @ {scale.name}: {elapsed:.1f}s wall]\n")
+                if tracing:
+                    _dump_cell_traces(args.trace, name, specs, results)
+            stats = runner.stats
+    except KeyboardInterrupt:
+        print("[interrupted: outstanding cells cancelled]", file=sys.stderr)
+        return 130
+    except CellError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"[cells: total={stats.total} executed={stats.executed} "
+        f"cache-hits={stats.cache_hits} "
+        f"hit-rate={stats.hit_rate * 100:.0f}%]"
+    )
     return 0
 
 
-def _dump_traces(directory: str, figure: str) -> None:
-    """Export every tracer the figure's system builders registered."""
+def _run_chaos(args) -> int:
+    """Chaos stays a single adversarial run -- never cellified, never
+    cached: its value is the fault interleaving, not a grid of points."""
+    scale = SCALES[args.scale]
+    # Wall-clock here measures the *host*, never sim behaviour.
+    start = time.time()  # simlint: disable=DET001
+    result = chaos(scale, fault_seed=args.fault_seed)
+    print(render_chaos(result))
+    elapsed = time.time() - start  # simlint: disable=DET001
+    print(f"[chaos @ {scale.name}: {elapsed:.1f}s wall]")
+    if args.trace is not None:
+        from repro.obs import write_jsonl
+
+        os.makedirs(args.trace, exist_ok=True)
+        path = os.path.join(args.trace, f"chaos-seed{args.fault_seed}.jsonl")
+        write_jsonl(result["events"], path)
+        print(f"[trace: {path} ({len(result['events'])} events)]")
+    return 1 if result["violations"] else 0
+
+
+def _dump_cell_traces(directory: str, figure: str, specs, results) -> None:
+    """Write each cell's per-host traces, plus one merged figure JSONL.
+
+    Files are named by cell slug (not completion order), and the merge
+    concatenates in declarative spec order, so trace output is identical
+    for every ``--jobs`` value.
+    """
     from repro.obs import write_chrome, write_jsonl
 
     os.makedirs(directory, exist_ok=True)
-    for i, tracer in enumerate(collected_tracers()):
-        stem = os.path.join(directory, f"{figure}-{i:02d}")
-        write_jsonl(tracer.events, f"{stem}.jsonl")
-        write_chrome(tracer.events, f"{stem}.trace.json")
-        print(
-            f"[trace: {stem}.jsonl + .trace.json "
-            f"({len(tracer.events)} events)]"
-        )
+    merged = []
+    cells = 0
+    for spec in specs:
+        traces = results[spec].traces or []
+        for j, events in enumerate(traces):
+            stem = os.path.join(directory, f"{figure}-{spec.slug()}-h{j:02d}")
+            write_jsonl(events, f"{stem}.jsonl")
+            write_chrome(events, f"{stem}.trace.json")
+            merged.extend(events)
+        cells += 1
+    merged_path = os.path.join(directory, f"{figure}.jsonl")
+    write_jsonl(merged, merged_path)
+    print(
+        f"[trace: {merged_path} ({len(merged)} events across "
+        f"{cells} cells)]"
+    )
 
 
 if __name__ == "__main__":

@@ -1,16 +1,30 @@
-"""One experiment runner per figure in the paper's evaluation.
+"""One experiment per figure, decomposed into *cells*.
 
-Every function builds fresh seeded systems per data point so results are
-deterministic and points are independent.  Returned objects are
-:class:`~repro.harness.report.Series` (or dicts of them) whose
-``render()`` prints the figure as text.
+Every figure is a declarative list of :class:`~repro.parallel.cells.CellSpec`
+grid points plus a deterministic merge step (DESIGN.md section 11):
+
+* a **cell function** (registered with :func:`repro.parallel.cells.cell`)
+  builds a fresh seeded system for one data point and returns a
+  JSON-serialisable payload -- cells are pure, so they can run in any
+  order, in any process, and be cached by content address;
+* a ``figN_cells(scale, ...)`` builder lists the figure's specs in the
+  paper's sweep order;
+* a ``figN_merge(specs, payloads)`` step folds ``{spec: payload}`` back
+  into :class:`~repro.harness.report.Series` rows, ordered by the spec
+  list alone -- never by completion order -- so serial and parallel runs
+  render byte-identically.
+
+The public ``figN_*`` functions keep their historical signatures and run
+the cells serially in-process; ``python -m repro.harness --jobs N``
+feeds the same specs through :class:`~repro.parallel.pool.PoolRunner`.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.config import (
     CHAOS_QUERY_SEED_BASE,
@@ -23,6 +37,7 @@ from repro.harness.config import (
     build_wisconsin_system,
 )
 from repro.harness.report import Series, render_breakdown
+from repro.parallel.cells import CellSpec, cell, coords, fn_key, run_cells_serial
 from repro.relational.expressions import AggSpec, Col
 from repro.relational.plans import Aggregate, GroupBy, HashJoin, TableScan
 from repro.workloads.clients import ClosedLoopClient, mixed_tpch_factory, run_workload
@@ -33,6 +48,10 @@ from repro.workloads.wisconsin import three_way_join
 MIX = ("q1", "q4", "q6", "q8", "q12", "q13", "q14", "q19")
 
 INTERARRIVALS = (0, 10, 20, 40, 60, 80, 100, 120, 140)
+
+FIG8_INTERARRIVALS = (0, 10, 20, 40, 60, 80, 100)
+
+Payloads = Mapping[CellSpec, Any]
 
 
 # ---------------------------------------------------------------------------
@@ -59,191 +78,8 @@ def _makespan(results) -> float:
     )
 
 
-# ---------------------------------------------------------------------------
-# Figure 1a: time breakdown of five TPC-H queries by table read
-# ---------------------------------------------------------------------------
-def fig1a_breakdown(scale: Scale = SMOKE):
-    """Fraction of disk-read time per table for Q8, Q12, Q13, Q14, Q19.
-
-    Reproduces Figure 1a's observation: despite disjoint computation,
-    the queries overlap heavily on LINEITEM/ORDERS/PART reads.
-    """
-    queries = {
-        "Q8": Q.q8,
-        "Q12": Q.q12,
-        "Q13": Q.q13,
-        "Q14": Q.q14,
-        "Q19": Q.q19,
-    }
-    tracked = ("lineitem", "orders", "part")
-    rows: Dict[str, Dict[str, float]] = {}
-    for name, builder in queries.items():
-        host, sm, engine = build_tpch_system(scale, "dbmsx")
-        file_to_table = {
-            sm.table_file_id(t): t for t in sm.catalog.tables()
-        }
-        before = host.disk.stats.snapshot()
-        proc = host.sim.spawn(engine.execute(builder(random.Random(FIG_QUERY_SEED))))
-        host.sim.run()
-        delta = host.disk.stats.delta(before)
-        total = sum(t for _b, t in delta.per_file.values()) or 1.0
-        fractions = {"other": 0.0}
-        for fid, (_blocks, time) in delta.per_file.items():
-            table = file_to_table.get(fid)
-            if table in tracked:
-                fractions[table] = fractions.get(table, 0.0) + time / total
-            else:
-                fractions["other"] += time / total
-        rows[name] = fractions
-    rendered = render_breakdown(
-        "Figure 1a: per-table share of disk read time",
-        rows,
-        list(tracked) + ["other"],
-    )
-    return rows, rendered
-
-
-# ---------------------------------------------------------------------------
-# Figure 4: measured window-of-opportunity curves
-# ---------------------------------------------------------------------------
-def fig4_wop(
-    scale: Scale = SMOKE,
-    progress_points: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.95),
-) -> Series:
-    """Measured Q2 I/O savings vs Q1 progress, one curve per overlap
-    class (linear / step / full / spike), mirroring Figure 4a.
-
-    Cost is measured in *eliminated disk blocks*: a gain of 1 means Q2
-    caused no additional I/O at all.
-    """
-
-    # The two queries of each pair differ in their ROOT aggregate so that
-    # sharing can only happen at the operator under test (a shared root
-    # would trivially yield a full overlap for every class).
-    _aggs = {
-        "a": [AggSpec("count", None, "n")],
-        "b": [AggSpec("sum", Col("l_quantity"), "s")],
-    }
-
-    def scan_plan(flavor, ordered):
-        return Aggregate(
-            TableScan("lineitem", ordered=ordered), _aggs[flavor]
-        )
-
-    def full_plan(flavor):
-        # The single aggregate itself is the measured operator, so the
-        # pair is identical here: full overlap across the whole lifetime.
-        return Aggregate(
-            TableScan("lineitem"), [AggSpec("sum", Col("l_quantity"), "s")]
-        )
-
-    def step_plan(flavor):
-        # Hash join: full during ORDERS build, step once probing starts.
-        return GroupBy(
-            HashJoin(
-                TableScan("orders"),
-                TableScan("lineitem"),
-                "o_orderkey",
-                "l_orderkey",
-            ),
-            ["o_orderpriority"],
-            _aggs[flavor],
-        )
-
-    classes = {
-        "linear(scan)": lambda flavor: scan_plan(flavor, False),
-        "full(aggregate)": full_plan,
-        "step(hash-join)": step_plan,
-        "spike(ordered scan)": lambda flavor: scan_plan(flavor, True),
-    }
-    series = Series(
-        title="Figure 4 (measured): Q2 cost saving vs Q1 progress",
-        x_label="Q1 progress",
-        y_label="fraction of Q2's disk blocks eliminated",
-    )
-    scale = _limited_buffers(scale)
-    for label, make_plan in classes.items():
-        # Solo baselines.
-        host, sm, engine = build_tpch_system(scale, "qpipe")
-        before = host.disk.stats.blocks_read
-        solo = _run_staggered(host, engine, [make_plan("b")], [0.0])[0]
-        solo_blocks = host.disk.stats.blocks_read - before
-        solo_duration = solo.response_time
-        for progress in progress_points:
-            host, sm, engine = build_tpch_system(scale, "qpipe")
-            plans = [make_plan("a"), make_plan("b")]
-            results = _run_staggered(
-                host, engine, plans, [0.0, progress * solo_duration]
-            )
-            pair_blocks = host.disk.stats.blocks_read
-            extra = max(0, pair_blocks - solo_blocks)
-            gain = max(0.0, 1.0 - extra / max(1, solo_blocks))
-            series.add_point(label, round(progress, 2), round(gain, 3))
-    return series
-
-
-# ---------------------------------------------------------------------------
-# Figure 8: disk blocks read vs interarrival time (2/4/8 clients of Q6)
-# ---------------------------------------------------------------------------
-def fig8_scan_sharing(
-    scale: Scale = SMOKE,
-    client_counts: Sequence[int] = (2, 4, 8),
-    interarrivals: Optional[Sequence[float]] = None,
-) -> Dict[int, Series]:
-    """Total disk blocks read by N staggered Q6 clients, Baseline vs
-    QPipe w/OSP."""
-    if interarrivals is None:
-        interarrivals = (0, 10, 20, 40, 60, 80, 100)
-    out: Dict[int, Series] = {}
-    for count in client_counts:
-        series = Series(
-            title=f"Figure 8 ({count} clients): disk blocks read",
-            x_label="interarrival (s)",
-            y_label="total disk blocks read",
-        )
-        for system in ("baseline", "qpipe"):
-            for gap in interarrivals:
-                host, sm, engine = build_tpch_system(scale, system)
-                plans = [
-                    Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(count)
-                ]
-                delays = [i * gap for i in range(count)]
-                _run_staggered(host, engine, plans, delays)
-                series.add_point(
-                    "QPipe w/OSP" if system == "qpipe" else "Baseline",
-                    gap,
-                    host.disk.stats.blocks_read,
-                )
-        out[count] = series
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Figures 9-11: two staggered queries, total response time
-# ---------------------------------------------------------------------------
-def _two_query_sweep(
-    title: str,
-    build_system,
-    make_plans,
-    interarrivals: Sequence[float],
-) -> Series:
-    series = Series(
-        title=title,
-        x_label="interarrival (s)",
-        y_label="total response time (s)",
-    )
-    for system in ("baseline", "qpipe"):
-        label = "QPipe w/OSP" if system == "qpipe" else "Baseline"
-        for gap in interarrivals:
-            host, sm, engine = build_system(system)
-            plans = make_plans()
-            results = _run_staggered(host, engine, plans, [0.0, gap])
-            series.add_point(label, gap, round(_makespan(results), 1))
-    return series
-
-
 def _limited_buffers(scale: Scale) -> Scale:
-    """Figures 9-11 run in the paper's limited-buffer regime: a small
+    """Figures 4/9-11 run in the paper's limited-buffer regime: a small
     fan-out replay ring, so step windows actually close and the
     order-sensitive split / scan-only sharing regimes become visible."""
     from repro.harness.config import with_overrides
@@ -255,111 +91,478 @@ def _limited_buffers(scale: Scale) -> Scale:
     )
 
 
-def fig9_ordered_scans(
+def _payloads(specs: Sequence[CellSpec], results: Optional[Payloads]) -> Payloads:
+    """Serial in-process execution unless the caller supplies results."""
+    if results is not None:
+        return results
+    return run_cells_serial(specs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1a: time breakdown of five TPC-H queries by table read
+# ---------------------------------------------------------------------------
+FIG1A_QUERIES = ("Q8", "Q12", "Q13", "Q14", "Q19")
+FIG1A_TRACKED = ("lineitem", "orders", "part")
+
+
+@cell
+def fig1a_cell(spec: CellSpec) -> Dict[str, float]:
+    """Per-table share of disk read time for one query, solo."""
+    name = spec.coord["query"]
+    builder = Q.QUERY_BUILDERS[name.lower()]
+    host, sm, engine = build_tpch_system(spec.scale, "dbmsx")
+    file_to_table = {sm.table_file_id(t): t for t in sm.catalog.tables()}
+    before = host.disk.stats.snapshot()
+    host.sim.spawn(engine.execute(builder(random.Random(FIG_QUERY_SEED))))
+    host.sim.run()
+    delta = host.disk.stats.delta(before)
+    total = sum(t for _b, t in delta.per_file.values()) or 1.0
+    fractions = {"other": 0.0}
+    for fid, (_blocks, time) in delta.per_file.items():
+        table = file_to_table.get(fid)
+        if table in FIG1A_TRACKED:
+            fractions[table] = fractions.get(table, 0.0) + time / total
+        else:
+            fractions["other"] += time / total
+    return fractions
+
+
+def fig1a_cells(scale: Scale = SMOKE) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "fig1a", fn_key(fig1a_cell), scale,
+            coords(query=name),
+            seeds=(("FIG_QUERY_SEED", FIG_QUERY_SEED),),
+        )
+        for name in FIG1A_QUERIES
+    ]
+
+
+def fig1a_merge(specs: Sequence[CellSpec], payloads: Payloads):
+    rows = {spec.coord["query"]: payloads[spec] for spec in specs}
+    rendered = render_breakdown(
+        "Figure 1a: per-table share of disk read time",
+        rows,
+        list(FIG1A_TRACKED) + ["other"],
+    )
+    return rows, rendered
+
+
+def fig1a_breakdown(scale: Scale = SMOKE, results: Optional[Payloads] = None):
+    """Fraction of disk-read time per table for Q8, Q12, Q13, Q14, Q19.
+
+    Reproduces Figure 1a's observation: despite disjoint computation,
+    the queries overlap heavily on LINEITEM/ORDERS/PART reads.
+    """
+    specs = fig1a_cells(scale)
+    return fig1a_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: measured window-of-opportunity curves
+# ---------------------------------------------------------------------------
+FIG4_POINTS = (0.0, 0.25, 0.5, 0.75, 0.95)
+
+#: The two queries of each pair differ in their ROOT aggregate so that
+#: sharing can only happen at the operator under test (a shared root
+#: would trivially yield a full overlap for every class).
+_FIG4_AGGS = {
+    "a": [AggSpec("count", None, "n")],
+    "b": [AggSpec("sum", Col("l_quantity"), "s")],
+}
+
+
+def _fig4_scan_plan(flavor, ordered):
+    return Aggregate(
+        TableScan("lineitem", ordered=ordered), _FIG4_AGGS[flavor]
+    )
+
+
+def _fig4_full_plan(flavor):
+    # The single aggregate itself is the measured operator, so the
+    # pair is identical here: full overlap across the whole lifetime.
+    return Aggregate(
+        TableScan("lineitem"), [AggSpec("sum", Col("l_quantity"), "s")]
+    )
+
+
+def _fig4_step_plan(flavor):
+    # Hash join: full during ORDERS build, step once probing starts.
+    return GroupBy(
+        HashJoin(
+            TableScan("orders"),
+            TableScan("lineitem"),
+            "o_orderkey",
+            "l_orderkey",
+        ),
+        ["o_orderpriority"],
+        _FIG4_AGGS[flavor],
+    )
+
+
+FIG4_CLASSES = {
+    "linear(scan)": lambda flavor: _fig4_scan_plan(flavor, False),
+    "full(aggregate)": _fig4_full_plan,
+    "step(hash-join)": _fig4_step_plan,
+    "spike(ordered scan)": lambda flavor: _fig4_scan_plan(flavor, True),
+}
+
+
+@cell
+def fig4_cell(spec: CellSpec) -> List[List[float]]:
+    """One overlap class: solo baseline plus every progress point.
+
+    Cost is measured in *eliminated disk blocks*: a gain of 1 means Q2
+    caused no additional I/O at all.
+    """
+    make_plan = FIG4_CLASSES[spec.coord["klass"]]
+    progress_points = spec.coord["progress_points"]
+    # Solo baseline.
+    host, sm, engine = build_tpch_system(spec.scale, "qpipe")
+    before = host.disk.stats.blocks_read
+    solo = _run_staggered(host, engine, [make_plan("b")], [0.0])[0]
+    solo_blocks = host.disk.stats.blocks_read - before
+    solo_duration = solo.response_time
+    points: List[List[float]] = []
+    for progress in progress_points:
+        host, sm, engine = build_tpch_system(spec.scale, "qpipe")
+        plans = [make_plan("a"), make_plan("b")]
+        _run_staggered(host, engine, plans, [0.0, progress * solo_duration])
+        pair_blocks = host.disk.stats.blocks_read
+        extra = max(0, pair_blocks - solo_blocks)
+        gain = max(0.0, 1.0 - extra / max(1, solo_blocks))
+        points.append([round(progress, 2), round(gain, 3)])
+    return points
+
+
+def fig4_cells(
     scale: Scale = SMOKE,
-    interarrivals: Sequence[float] = INTERARRIVALS,
+    progress_points: Sequence[float] = FIG4_POINTS,
+) -> List[CellSpec]:
+    limited = _limited_buffers(scale)
+    return [
+        CellSpec(
+            "fig4", fn_key(fig4_cell), limited,
+            coords(klass=label, progress_points=tuple(progress_points)),
+        )
+        for label in FIG4_CLASSES
+    ]
+
+
+def fig4_merge(specs: Sequence[CellSpec], payloads: Payloads) -> Series:
+    series = Series(
+        title="Figure 4 (measured): Q2 cost saving vs Q1 progress",
+        x_label="Q1 progress",
+        y_label="fraction of Q2's disk blocks eliminated",
+    )
+    for spec in specs:
+        label = spec.coord["klass"]
+        for progress, gain in payloads[spec]:
+            series.add_point(label, progress, gain)
+    return series
+
+
+def fig4_wop(
+    scale: Scale = SMOKE,
+    progress_points: Sequence[float] = FIG4_POINTS,
+    results: Optional[Payloads] = None,
 ) -> Series:
+    """Measured Q2 I/O savings vs Q1 progress, one curve per overlap
+    class (linear / step / full / spike), mirroring Figure 4a."""
+    specs = fig4_cells(scale, progress_points)
+    return fig4_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: disk blocks read vs interarrival time (2/4/8 clients of Q6)
+# ---------------------------------------------------------------------------
+@cell
+def fig8_cell(spec: CellSpec) -> int:
+    """Total disk blocks read by N staggered Q6 clients on one system."""
+    c = spec.coord
+    host, sm, engine = build_tpch_system(spec.scale, c["system"])
+    plans = [
+        Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(c["count"])
+    ]
+    delays = [i * c["gap"] for i in range(c["count"])]
+    _run_staggered(host, engine, plans, delays)
+    return host.disk.stats.blocks_read
+
+
+def fig8_cells(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = (2, 4, 8),
+    interarrivals: Optional[Sequence[float]] = None,
+) -> List[CellSpec]:
+    if interarrivals is None:
+        interarrivals = FIG8_INTERARRIVALS
+    return [
+        CellSpec(
+            "fig8", fn_key(fig8_cell), scale,
+            coords(count=count, system=system, gap=gap),
+            seeds=(("CLIENT_SEED_BASE", CLIENT_SEED_BASE),),
+        )
+        for count in client_counts
+        for system in ("baseline", "qpipe")
+        for gap in interarrivals
+    ]
+
+
+def fig8_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Dict[int, Series]:
+    out: Dict[int, Series] = {}
+    for spec in specs:
+        c = spec.coord
+        series = out.get(c["count"])
+        if series is None:
+            series = out[c["count"]] = Series(
+                title=f"Figure 8 ({c['count']} clients): disk blocks read",
+                x_label="interarrival (s)",
+                y_label="total disk blocks read",
+            )
+        series.add_point(
+            "QPipe w/OSP" if c["system"] == "qpipe" else "Baseline",
+            c["gap"],
+            payloads[spec],
+        )
+    return out
+
+
+def fig8_scan_sharing(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = (2, 4, 8),
+    interarrivals: Optional[Sequence[float]] = None,
+    results: Optional[Payloads] = None,
+) -> Dict[int, Series]:
+    """Total disk blocks read by N staggered Q6 clients, Baseline vs
+    QPipe w/OSP."""
+    specs = fig8_cells(scale, client_counts, interarrivals)
+    return fig8_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-11: two staggered queries, total response time
+# ---------------------------------------------------------------------------
+def _two_query_makespan(scale: Scale, system: str, gap: float,
+                        build_system, make_plans) -> float:
+    host, sm, engine = build_system(scale, system)
+    plans = make_plans()
+    results = _run_staggered(host, engine, plans, [0.0, gap])
+    return round(_makespan(results), 1)
+
+
+@cell
+def fig9_cell(spec: CellSpec) -> float:
     """Two TPC-H Q4 instances with merge-joins over clustered index
     scans: order-sensitive scan sharing via the 4.3.2 two-pass split."""
-    scale = _limited_buffers(scale)
-    return _two_query_sweep(
-        "Figure 9: order-sensitive clustered index scans (Q4, merge-join)",
-        lambda system: build_tpch_system(scale, system),
+    c = spec.coord
+    return _two_query_makespan(
+        spec.scale, c["system"], c["gap"], build_tpch_system,
         lambda: [
             Q.q4_merge(random.Random(SHARED_PARAM_SEED), flavor="count"),
             Q.q4_merge(random.Random(SHARED_PARAM_SEED), flavor="sum"),
         ],
-        interarrivals,
     )
+
+
+@cell
+def fig10_cell(spec: CellSpec) -> float:
+    """Two Wisconsin 3-way sort-merge joins sharing the BIG1/BIG2 sort
+    (full overlap) and merge (step overlap) subtrees."""
+    c = spec.coord
+    big_range = max(100, spec.scale.wisconsin_big_rows // 2)
+    return _two_query_makespan(
+        spec.scale, c["system"], c["gap"], build_wisconsin_system,
+        lambda: [
+            three_way_join(big_range, Col("onepercent") < 50),
+            three_way_join(big_range, Col("onepercent") >= 50),
+        ],
+    )
+
+
+@cell
+def fig11_cell(spec: CellSpec) -> float:
+    """Two TPC-H Q4 instances with hybrid hash joins: build-phase
+    sharing first, then scan-only sharing once probing starts."""
+    c = spec.coord
+    return _two_query_makespan(
+        spec.scale, c["system"], c["gap"], build_tpch_system,
+        lambda: [
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="count"),
+            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="sum"),
+        ],
+    )
+
+
+def _two_query_cells(
+    figure: str, cell_fn, scale: Scale, interarrivals: Sequence[float]
+) -> List[CellSpec]:
+    limited = _limited_buffers(scale)
+    return [
+        CellSpec(
+            figure, fn_key(cell_fn), limited,
+            coords(system=system, gap=gap),
+            seeds=(("SHARED_PARAM_SEED", SHARED_PARAM_SEED),),
+        )
+        for system in ("baseline", "qpipe")
+        for gap in interarrivals
+    ]
+
+
+def _two_query_merge(title: str, specs: Sequence[CellSpec],
+                     payloads: Payloads) -> Series:
+    series = Series(
+        title=title,
+        x_label="interarrival (s)",
+        y_label="total response time (s)",
+    )
+    for spec in specs:
+        c = spec.coord
+        label = "QPipe w/OSP" if c["system"] == "qpipe" else "Baseline"
+        series.add_point(label, c["gap"], payloads[spec])
+    return series
+
+
+FIG9_TITLE = "Figure 9: order-sensitive clustered index scans (Q4, merge-join)"
+FIG10_TITLE = "Figure 10: Wisconsin 3-way sort-merge join sharing"
+FIG11_TITLE = "Figure 11: hash-join build sharing (Q4, hash-join)"
+
+
+def fig9_cells(scale: Scale = SMOKE,
+               interarrivals: Sequence[float] = INTERARRIVALS):
+    return _two_query_cells("fig9", fig9_cell, scale, interarrivals)
+
+
+def fig10_cells(scale: Scale = SMOKE,
+                interarrivals: Sequence[float] = INTERARRIVALS):
+    return _two_query_cells("fig10", fig10_cell, scale, interarrivals)
+
+
+def fig11_cells(scale: Scale = SMOKE,
+                interarrivals: Sequence[float] = INTERARRIVALS):
+    return _two_query_cells("fig11", fig11_cell, scale, interarrivals)
+
+
+def fig9_ordered_scans(
+    scale: Scale = SMOKE,
+    interarrivals: Sequence[float] = INTERARRIVALS,
+    results: Optional[Payloads] = None,
+) -> Series:
+    specs = fig9_cells(scale, interarrivals)
+    return _two_query_merge(FIG9_TITLE, specs, _payloads(specs, results))
 
 
 def fig10_sort_merge(
     scale: Scale = SMOKE,
     interarrivals: Sequence[float] = INTERARRIVALS,
+    results: Optional[Payloads] = None,
 ) -> Series:
-    """Two Wisconsin 3-way sort-merge joins sharing the BIG1/BIG2 sort
-    (full overlap) and merge (step overlap) subtrees."""
-    scale = _limited_buffers(scale)
-    big_range = max(100, scale.wisconsin_big_rows // 2)
-    return _two_query_sweep(
-        "Figure 10: Wisconsin 3-way sort-merge join sharing",
-        lambda system: build_wisconsin_system(scale, system),
-        lambda: [
-            three_way_join(big_range, Col("onepercent") < 50),
-            three_way_join(big_range, Col("onepercent") >= 50),
-        ],
-        interarrivals,
-    )
+    specs = fig10_cells(scale, interarrivals)
+    return _two_query_merge(FIG10_TITLE, specs, _payloads(specs, results))
 
 
 def fig11_hash_join(
     scale: Scale = SMOKE,
     interarrivals: Sequence[float] = INTERARRIVALS,
+    results: Optional[Payloads] = None,
 ) -> Series:
-    """Two TPC-H Q4 instances with hybrid hash joins: build-phase
-    sharing first, then scan-only sharing once probing starts."""
-    scale = _limited_buffers(scale)
-    return _two_query_sweep(
-        "Figure 11: hash-join build sharing (Q4, hash-join)",
-        lambda system: build_tpch_system(scale, system),
-        lambda: [
-            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="count"),
-            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="sum"),
-        ],
-        interarrivals,
-    )
+    specs = fig11_cells(scale, interarrivals)
+    return _two_query_merge(FIG11_TITLE, specs, _payloads(specs, results))
 
 
 # ---------------------------------------------------------------------------
 # Figures 1b/12: throughput vs number of clients, three systems
 # ---------------------------------------------------------------------------
-def fig12_throughput(
+FIG12_SYSTEMS = ("qpipe", "baseline", "dbmsx")
+FIG12_LABELS = {
+    "qpipe": "QPipe w/OSP",
+    "baseline": "Baseline",
+    "dbmsx": "DBMS X",
+}
+
+
+@cell
+def fig12_cell(spec: CellSpec) -> float:
+    """TPC-H mix throughput (queries/hour) at one client count."""
+    c = spec.coord
+    scale = spec.scale
+    host, sm, engine = build_tpch_system(scale, c["system"])
+    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
+    factory = mixed_tpch_factory(builders)
+    clients = [
+        ClosedLoopClient(
+            i,
+            factory,
+            queries=scale.queries_per_client,
+            think_time=0.0,
+            start_delay=i * scale.client_stagger,
+        )
+        for i in range(c["count"])
+    ]
+    metrics = run_workload(engine, clients, seed=scale.seed + c["count"])
+    return round(metrics.throughput_qph, 1)
+
+
+def fig12_cells(
     scale: Scale = SMOKE,
     client_counts: Sequence[int] = tuple(range(1, 13)),
-    systems: Sequence[str] = ("qpipe", "baseline", "dbmsx"),
-) -> Series:
-    """TPC-H mix throughput (queries/hour), zero think time.
+    systems: Sequence[str] = FIG12_SYSTEMS,
+) -> List[CellSpec]:
+    # fig1b is fig12 restricted to two systems, so its specs carry the
+    # owning figure id "fig12" and the two figures share cache entries.
+    return [
+        CellSpec(
+            "fig12", fn_key(fig12_cell), scale,
+            coords(system=system, count=count),
+            seeds=(("workload_seed", scale.seed + count),),
+        )
+        for system in systems
+        for count in client_counts
+    ]
 
-    Figure 1b is this figure restricted to QPipe and DBMS X.
-    """
-    labels = {
-        "qpipe": "QPipe w/OSP",
-        "baseline": "Baseline",
-        "dbmsx": "DBMS X",
-    }
+
+def fig12_merge(specs: Sequence[CellSpec], payloads: Payloads) -> Series:
     series = Series(
         title="Figure 12: TPC-H throughput vs concurrent clients",
         x_label="clients",
         y_label="throughput (queries/hour)",
     )
-    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
-    for system in systems:
-        for count in client_counts:
-            host, sm, engine = build_tpch_system(scale, system)
-            factory = mixed_tpch_factory(builders)
-            clients = [
-                ClosedLoopClient(
-                    i,
-                    factory,
-                    queries=scale.queries_per_client,
-                    think_time=0.0,
-                    start_delay=i * scale.client_stagger,
-                )
-                for i in range(count)
-            ]
-            metrics = run_workload(engine, clients, seed=scale.seed + count)
-            series.add_point(
-                labels[system], count, round(metrics.throughput_qph, 1)
-            )
+    for spec in specs:
+        c = spec.coord
+        series.add_point(FIG12_LABELS[c["system"]], c["count"], payloads[spec])
     return series
+
+
+def fig12_throughput(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = tuple(range(1, 13)),
+    systems: Sequence[str] = FIG12_SYSTEMS,
+    results: Optional[Payloads] = None,
+) -> Series:
+    """TPC-H mix throughput (queries/hour), zero think time.
+
+    Figure 1b is this figure restricted to QPipe and DBMS X.
+    """
+    specs = fig12_cells(scale, client_counts, systems)
+    return fig12_merge(specs, _payloads(specs, results))
+
+
+def fig1b_cells(
+    scale: Scale = SMOKE,
+    client_counts: Sequence[int] = tuple(range(1, 13)),
+) -> List[CellSpec]:
+    return fig12_cells(scale, client_counts, ("qpipe", "dbmsx"))
 
 
 def fig1b_throughput(
     scale: Scale = SMOKE,
     client_counts: Sequence[int] = tuple(range(1, 13)),
+    results: Optional[Payloads] = None,
 ) -> Series:
     """Figure 1b: the introduction's QPipe-vs-DBMS X throughput curve."""
-    series = fig12_throughput(scale, client_counts, ("qpipe", "dbmsx"))
+    specs = fig1b_cells(scale, client_counts)
+    series = fig12_merge(specs, _payloads(specs, results))
     series.title = "Figure 1b: TPC-H throughput, QPipe vs DBMS X"
     return series
 
@@ -367,65 +570,107 @@ def fig1b_throughput(
 # ---------------------------------------------------------------------------
 # Figure 13: average response time vs think time, 10 clients
 # ---------------------------------------------------------------------------
+@cell
+def fig13_cell(spec: CellSpec) -> float:
+    """Average response time of the TPC-H mix at one think time."""
+    c = spec.coord
+    scale = spec.scale
+    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
+    # Think time only matters between consecutive queries of one client.
+    queries = max(3, scale.queries_per_client)
+    host, sm, engine = build_tpch_system(scale, c["system"])
+    factory = mixed_tpch_factory(builders)
+    clients = [
+        ClosedLoopClient(
+            i,
+            factory,
+            queries=queries,
+            think_time=c["think"],
+            start_delay=i * scale.client_stagger,
+        )
+        for i in range(c["clients"])
+    ]
+    metrics = run_workload(engine, clients, seed=scale.seed)
+    return round(metrics.avg_response_time, 1)
+
+
+def fig13_cells(
+    scale: Scale = SMOKE,
+    think_times: Sequence[float] = (0, 20, 40, 60, 240),
+    clients: int = 10,
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "fig13", fn_key(fig13_cell), scale,
+            coords(system=system, think=think, clients=clients),
+            seeds=(("workload_seed", scale.seed),),
+        )
+        for system in ("baseline", "qpipe")
+        for think in think_times
+    ]
+
+
+def fig13_merge(specs: Sequence[CellSpec], payloads: Payloads) -> Series:
+    clients = specs[0].coord["clients"] if specs else 10
+    series = Series(
+        title=f"Figure 13: average response time vs think time "
+        f"({clients} clients)",
+        x_label="think time (s)",
+        y_label="average response time (s)",
+    )
+    for spec in specs:
+        c = spec.coord
+        label = "QPipe w/OSP" if c["system"] == "qpipe" else "Baseline"
+        series.add_point(label, c["think"], payloads[spec])
+    return series
+
+
 def fig13_think_time(
     scale: Scale = SMOKE,
     think_times: Sequence[float] = (0, 20, 40, 60, 240),
     clients: int = 10,
+    results: Optional[Payloads] = None,
 ) -> Series:
     """Average response time of the TPC-H mix under varying think time
     (low think time = high load), QPipe w/OSP vs Baseline."""
-    series = Series(
-        title="Figure 13: average response time vs think time (10 clients)",
-        x_label="think time (s)",
-        y_label="average response time (s)",
-    )
-    builders = [Q.QUERY_BUILDERS[name] for name in MIX]
-    # Think time only matters between consecutive queries of one client.
-    queries = max(3, scale.queries_per_client)
-    for system in ("baseline", "qpipe"):
-        label = "QPipe w/OSP" if system == "qpipe" else "Baseline"
-        for think in think_times:
-            host, sm, engine = build_tpch_system(scale, system)
-            factory = mixed_tpch_factory(builders)
-            cl = [
-                ClosedLoopClient(
-                    i,
-                    factory,
-                    queries=queries,
-                    think_time=think,
-                    start_delay=i * scale.client_stagger,
-                )
-                for i in range(clients)
-            ]
-            metrics = run_workload(engine, cl, seed=scale.seed)
-            series.add_point(
-                label, think, round(metrics.avg_response_time, 1)
-            )
-    return series
+    specs = fig13_cells(scale, think_times, clients)
+    return fig13_merge(specs, _payloads(specs, results))
 
 
 # ---------------------------------------------------------------------------
 # Section 5 claim: negligible OSP coordinator overhead
 # ---------------------------------------------------------------------------
-def osp_overhead(scale: Scale = SMOKE, queries: int = 6) -> Dict[str, float]:
-    """Back-to-back (zero-concurrency) mixed queries with OSP on vs off.
-
-    With no sharing opportunities the two runs must take essentially the
-    same time; the paper reports the overhead as negligible.
-    """
+@cell
+def osp_overhead_cell(spec: CellSpec) -> float:
+    """Makespan of back-to-back mixed queries on one system."""
+    c = spec.coord
+    scale = spec.scale
     builders = [Q.QUERY_BUILDERS[name] for name in MIX]
+    host, sm, engine = build_tpch_system(scale, c["system"])
+    client = ClosedLoopClient(
+        0, mixed_tpch_factory(builders), queries=c["queries"]
+    )
+    metrics = run_workload(engine, [client], seed=scale.seed)
+    return metrics.makespan
 
-    def run(system: str) -> float:
-        host, sm, engine = build_tpch_system(scale, system)
-        rng = random.Random(scale.seed)
-        client = ClosedLoopClient(
-            0, mixed_tpch_factory(builders), queries=queries
+
+def osp_overhead_cells(scale: Scale = SMOKE, queries: int = 6) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "overhead", fn_key(osp_overhead_cell), scale,
+            coords(system=system, queries=queries),
+            seeds=(("workload_seed", scale.seed),),
         )
-        metrics = run_workload(engine, [client], seed=scale.seed)
-        return metrics.makespan
+        for system in ("qpipe", "baseline")
+    ]
 
-    with_osp = run("qpipe")
-    without = run("baseline")
+
+def osp_overhead_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Dict[str, float]:
+    by_system = {spec.coord["system"]: payloads[spec] for spec in specs}
+    with_osp = by_system["qpipe"]
+    without = by_system["baseline"]
     return {
         "makespan_osp_on": with_osp,
         "makespan_osp_off": without,
@@ -433,14 +678,105 @@ def osp_overhead(scale: Scale = SMOKE, queries: int = 6) -> Dict[str, float]:
     }
 
 
+def osp_overhead(
+    scale: Scale = SMOKE, queries: int = 6,
+    results: Optional[Payloads] = None,
+) -> Dict[str, float]:
+    """Back-to-back (zero-concurrency) mixed queries with OSP on vs off.
+
+    With no sharing opportunities the two runs must take essentially the
+    same time; the paper reports the overhead as negligible.
+    """
+    specs = osp_overhead_cells(scale, queries)
+    return osp_overhead_merge(specs, _payloads(specs, results))
+
+
 # ---------------------------------------------------------------------------
 # Ablations (DESIGN.md section 4)
 # ---------------------------------------------------------------------------
+@cell
+def ablation_policy_cell(spec: CellSpec) -> int:
+    """Blocks read by N staggered Q6 clients under one pool policy (or
+    the QPipe w/OSP reference when ``kind == "reference"``)."""
+    c = spec.coord
+    scale = spec.scale
+    plans = [
+        Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(c["clients"])
+    ]
+    delays = [i * c["interarrival"] for i in range(c["clients"])]
+    if c["kind"] == "reference":
+        host, sm, engine = build_tpch_system(scale, "qpipe")
+    else:
+        from repro.harness.config import make_engine
+        from repro.harness.config import _estimate_lineitem_pages, _host_for_pages
+        from repro.storage.manager import StorageManager
+        from repro.workloads.tpch import TpchScale, load_tpch
+
+        host = _host_for_pages(scale, _estimate_lineitem_pages(scale))
+        sm = StorageManager(
+            host, buffer_pages=scale.buffer_pages, policy=c["policy"],
+            use_scan_ring=False,
+        )
+        load_tpch(sm, TpchScale(scale.tpch_factor), seed=scale.seed)
+        engine = make_engine(sm, scale, "baseline")
+    _run_staggered(host, engine, plans, delays)
+    return host.disk.stats.blocks_read
+
+
+def ablation_policies_cells(
+    scale: Scale = SMOKE,
+    policies: Sequence[str] = ("lru", "mru", "clock", "lru-k", "2q", "arc"),
+    clients: int = 4,
+    interarrival: float = 20.0,
+) -> List[CellSpec]:
+    specs = [
+        CellSpec(
+            "ablation-policies", fn_key(ablation_policy_cell), scale,
+            coords(kind="policy", policy=policy, clients=clients,
+                   interarrival=interarrival),
+            seeds=(("CLIENT_SEED_BASE", CLIENT_SEED_BASE),),
+        )
+        for policy in policies
+    ]
+    specs.append(
+        CellSpec(
+            "ablation-policies", fn_key(ablation_policy_cell), scale,
+            coords(kind="reference", policy="lru", clients=clients,
+                   interarrival=interarrival),
+            seeds=(("CLIENT_SEED_BASE", CLIENT_SEED_BASE),),
+        )
+    )
+    return specs
+
+
+def ablation_policies_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Series:
+    grid = [s for s in specs if s.coord["kind"] == "policy"]
+    clients = grid[0].coord["clients"]
+    interarrival = grid[0].coord["interarrival"]
+    series = Series(
+        title="Ablation: buffer replacement policy vs blocks read "
+        f"({clients} Q6 clients, {interarrival:.0f}s apart)",
+        x_label="policy",
+        y_label="total disk blocks read",
+    )
+    for spec in grid:
+        series.add_point("Baseline", spec.coord["policy"], payloads[spec])
+    for spec in specs:
+        if spec.coord["kind"] == "reference":
+            series.notes.append(
+                f"QPipe w/OSP (lru) reads {payloads[spec]} blocks"
+            )
+    return series
+
+
 def ablation_replacement_policies(
     scale: Scale = SMOKE,
     policies: Sequence[str] = ("lru", "mru", "clock", "lru-k", "2q", "arc"),
     clients: int = 4,
     interarrival: float = 20.0,
+    results: Optional[Payloads] = None,
 ) -> Series:
     """Figure 8's Baseline point under every replacement policy: how much
     of QPipe's sharing can a smarter pool recover on its own?
@@ -448,37 +784,51 @@ def ablation_replacement_policies(
     Scan pages go through the policy itself here (no scan ring), so the
     policies' scan handling is what is actually being compared.
     """
-    from repro.harness.config import make_engine
-    from repro.storage.manager import StorageManager
-    from repro.workloads.tpch import TpchScale, load_tpch
-    from repro.harness.config import _estimate_lineitem_pages, _host_for_pages
+    specs = ablation_policies_cells(scale, policies, clients, interarrival)
+    return ablation_policies_merge(specs, _payloads(specs, results))
 
+
+@cell
+def ablation_wraparound_cell(spec: CellSpec) -> int:
+    """Blocks read with circular wrap-around on or off."""
+    c = spec.coord
+    host, sm, engine = build_tpch_system(spec.scale, "qpipe")
+    engine.config.circular_wraparound = c["wrap"]
+    plans = [
+        Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(c["clients"])
+    ]
+    delays = [i * c["gap"] for i in range(c["clients"])]
+    _run_staggered(host, engine, plans, delays)
+    return host.disk.stats.blocks_read
+
+
+def ablation_wraparound_cells(
+    scale: Scale = SMOKE,
+    clients: int = 4,
+    interarrivals: Sequence[float] = (0, 20, 60, 100),
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "ablation-wraparound", fn_key(ablation_wraparound_cell), scale,
+            coords(mode=label, wrap=wrap, gap=gap, clients=clients),
+            seeds=(("CLIENT_SEED_BASE", CLIENT_SEED_BASE),),
+        )
+        for label, wrap in (("circular", True), ("attach-at-start", False))
+        for gap in interarrivals
+    ]
+
+
+def ablation_wraparound_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Series:
     series = Series(
-        title="Ablation: buffer replacement policy vs blocks read "
-        f"({clients} Q6 clients, {interarrival:.0f}s apart)",
-        x_label="policy",
+        title="Ablation: circular wrap-around vs naive scan sharing",
+        x_label="interarrival (s)",
         y_label="total disk blocks read",
     )
-    for policy in policies:
-        host = _host_for_pages(scale, _estimate_lineitem_pages(scale))
-        sm = StorageManager(
-            host, buffer_pages=scale.buffer_pages, policy=policy,
-            use_scan_ring=False,
-        )
-        load_tpch(sm, TpchScale(scale.tpch_factor), seed=scale.seed)
-        engine = make_engine(sm, scale, "baseline")
-        plans = [Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(clients)]
-        delays = [i * interarrival for i in range(clients)]
-        _run_staggered(host, engine, plans, delays)
-        series.add_point("Baseline", policy, host.disk.stats.blocks_read)
-    # Reference: QPipe w/OSP on LRU.
-    host, sm, engine = build_tpch_system(scale, "qpipe")
-    plans = [Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(clients)]
-    delays = [i * interarrival for i in range(clients)]
-    _run_staggered(host, engine, plans, delays)
-    series.notes.append(
-        f"QPipe w/OSP (lru) reads {host.disk.stats.blocks_read} blocks"
-    )
+    for spec in specs:
+        c = spec.coord
+        series.add_point(c["mode"], c["gap"], payloads[spec])
     return series
 
 
@@ -486,6 +836,7 @@ def ablation_circular_wraparound(
     scale: Scale = SMOKE,
     clients: int = 4,
     interarrivals: Sequence[float] = (0, 20, 60, 100),
+    results: Optional[Payloads] = None,
 ) -> Series:
     """What wrap-around adds over naive attach-at-start scan sharing.
 
@@ -494,27 +845,64 @@ def ablation_circular_wraparound(
     unread pages" (section 4.3.1).  Without the wrap, a late scan can
     share only if it happens to arrive while the scanner sits at page 0.
     """
-    from repro.harness.config import with_overrides
+    specs = ablation_wraparound_cells(scale, clients, interarrivals)
+    return ablation_wraparound_merge(specs, _payloads(specs, results))
 
+
+@cell
+def ablation_late_activation_cell(spec: CellSpec) -> Dict[str, float]:
+    """Makespan / blocks / detaches with late activation on or off."""
+    c = spec.coord
+    host, sm, engine = build_tpch_system(spec.scale, "qpipe")
+    engine.config.late_activation = c["late"]
+    plans = [
+        Q.q4_hash(random.Random(SHARED_PARAM_SEED), "count" if i % 2 else "sum")
+        for i in range(c["clients"])
+    ]
+    delays = [i * 5.0 for i in range(c["clients"])]
+    results = _run_staggered(host, engine, plans, delays)
+    return {
+        "makespan": round(_makespan(results), 1),
+        "blocks": host.disk.stats.blocks_read,
+        "detaches": engine.osp_stats.scan_detaches,
+    }
+
+
+def ablation_late_activation_cells(
+    scale: Scale = SMOKE, clients: int = 4
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "ablation-late-activation",
+            fn_key(ablation_late_activation_cell), scale,
+            coords(label=label, late=late, clients=clients),
+            seeds=(("SHARED_PARAM_SEED", SHARED_PARAM_SEED),),
+        )
+        for label, late in (("on", True), ("off", False))
+    ]
+
+
+def ablation_late_activation_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Series:
     series = Series(
-        title="Ablation: circular wrap-around vs naive scan sharing",
-        x_label="interarrival (s)",
-        y_label="total disk blocks read",
+        title="Ablation: late activation of scan packets",
+        x_label="policy",
+        y_label="value",
     )
-    for label, wrap in (("circular", True), ("attach-at-start", False)):
-        for gap in interarrivals:
-            host, sm, engine = build_tpch_system(scale, "qpipe")
-            engine.config.circular_wraparound = wrap
-            plans = [Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(clients)]
-            delays = [i * gap for i in range(clients)]
-            _run_staggered(host, engine, plans, delays)
-            series.add_point(label, gap, host.disk.stats.blocks_read)
+    for spec in specs:
+        label = f"late-activation {spec.coord['label']}"
+        payload = payloads[spec]
+        series.add_point(label, "makespan (s)", payload["makespan"])
+        series.add_point(label, "blocks read", payload["blocks"])
+        series.add_point(label, "scan detaches", payload["detaches"])
     return series
 
 
 def ablation_late_activation(
     scale: Scale = SMOKE,
     clients: int = 4,
+    results: Optional[Payloads] = None,
 ) -> Series:
     """Section 4.3.1's late activation policy, on vs off.
 
@@ -523,29 +911,133 @@ def ablation_late_activation(
     scanner (until detach-on-stall cuts them loose), costing extra time
     and I/O for everyone.
     """
-    from repro.harness.config import make_engine
+    specs = ablation_late_activation_cells(scale, clients)
+    return ablation_late_activation_merge(specs, _payloads(specs, results))
 
+
+@cell
+def ablation_replay_cell(spec: CellSpec) -> int:
+    """Hash-join attaches at one fan-out replay ring size."""
+    from repro.harness.config import with_overrides
+
+    c = spec.coord
+    sized = with_overrides(spec.scale, replay_tuples=max(1, c["ring"]))
+    host, sm, engine = build_tpch_system(sized, "qpipe")
+    plans = [
+        Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="count"),
+        Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="sum"),
+    ]
+    _run_staggered(host, engine, plans, [0.0, c["interarrival"]])
+    return engine.osp_stats.attaches["hashjoin"]
+
+
+def ablation_replay_cells(
+    scale: Scale = SMOKE,
+    ring_sizes: Sequence[int] = (16, 256, 4096, 65536),
+    interarrival: float = 40.0,
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "ablation-replay", fn_key(ablation_replay_cell), scale,
+            coords(ring=size, interarrival=interarrival),
+            seeds=(("SHARED_PARAM_SEED", SHARED_PARAM_SEED),),
+        )
+        for size in ring_sizes
+    ]
+
+
+def ablation_replay_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Series:
     series = Series(
-        title="Ablation: late activation of scan packets",
-        x_label="policy",
-        y_label="value",
+        title="Ablation: fan-out replay ring size vs join sharing",
+        x_label="replay ring (tuples)",
+        y_label="hash-join attaches",
     )
-    for label, late in (("on", True), ("off", False)):
-        host, sm, engine = build_tpch_system(scale, "qpipe")
-        engine.config.late_activation = late
-        plans = [
-            Q.q4_hash(random.Random(SHARED_PARAM_SEED), "count" if i % 2 else "sum")
-            for i in range(clients)
-        ]
-        delays = [i * 5.0 for i in range(clients)]
-        results = _run_staggered(host, engine, plans, delays)
-        series.add_point(f"late-activation {label}", "makespan (s)",
-                         round(_makespan(results), 1))
-        series.add_point(f"late-activation {label}", "blocks read",
-                         host.disk.stats.blocks_read)
-        series.add_point(f"late-activation {label}", "scan detaches",
-                         engine.osp_stats.scan_detaches)
+    for spec in specs:
+        series.add_point("attaches", spec.coord["ring"], payloads[spec])
     return series
+
+
+def ablation_replay_ring(
+    scale: Scale = SMOKE,
+    ring_sizes: Sequence[int] = (16, 256, 4096, 65536),
+    interarrival: float = 40.0,
+    results: Optional[Payloads] = None,
+) -> Series:
+    """The Figure 4b buffering enhancement: a larger fan-out replay ring
+    widens the hash-join step window, so later arrivals still attach."""
+    specs = ablation_replay_cells(scale, ring_sizes, interarrival)
+    return ablation_replay_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
+# The figure catalogue the CLI runs (cells + render, per figure)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure:
+    """One CLI figure: a declarative cell list plus a render step."""
+
+    name: str
+    cells: Callable[[Scale], List[CellSpec]]
+    render: Callable[[Sequence[CellSpec], Payloads], str]
+
+
+def _render_fig1a(specs, payloads) -> str:
+    _rows, rendered = fig1a_merge(specs, payloads)
+    return rendered
+
+
+def _render_fig1b(specs, payloads) -> str:
+    series = fig12_merge(specs, payloads)
+    series.title = "Figure 1b: TPC-H throughput, QPipe vs DBMS X"
+    return series.render()
+
+
+def _render_fig8(specs, payloads) -> str:
+    out = fig8_merge(specs, payloads)
+    return "\n\n".join(out[n].render() for n in sorted(out))
+
+
+def _render_overhead(specs, payloads) -> str:
+    result = osp_overhead_merge(specs, payloads)
+    return (
+        "OSP coordinator overhead (no sharing opportunities):\n"
+        f"  makespan OSP on : {result['makespan_osp_on']:.1f} s\n"
+        f"  makespan OSP off: {result['makespan_osp_off']:.1f} s\n"
+        f"  ratio           : {result['overhead_ratio']:.4f}"
+    )
+
+
+FIGURES: Dict[str, Figure] = {
+    fig.name: fig
+    for fig in (
+        Figure("fig1a", fig1a_cells, _render_fig1a),
+        Figure("fig1b", fig1b_cells, _render_fig1b),
+        Figure("fig4", fig4_cells,
+               lambda s, p: fig4_merge(s, p).render()),
+        Figure("fig8", fig8_cells, _render_fig8),
+        Figure("fig9", fig9_cells,
+               lambda s, p: _two_query_merge(FIG9_TITLE, s, p).render()),
+        Figure("fig10", fig10_cells,
+               lambda s, p: _two_query_merge(FIG10_TITLE, s, p).render()),
+        Figure("fig11", fig11_cells,
+               lambda s, p: _two_query_merge(FIG11_TITLE, s, p).render()),
+        Figure("fig12", fig12_cells,
+               lambda s, p: fig12_merge(s, p).render()),
+        Figure("fig13", fig13_cells,
+               lambda s, p: fig13_merge(s, p).render()),
+        Figure("overhead", osp_overhead_cells, _render_overhead),
+        Figure("ablation-policies", ablation_policies_cells,
+               lambda s, p: ablation_policies_merge(s, p).render()),
+        Figure("ablation-replay", ablation_replay_cells,
+               lambda s, p: ablation_replay_merge(s, p).render()),
+        Figure("ablation-wraparound", ablation_wraparound_cells,
+               lambda s, p: ablation_wraparound_merge(s, p).render()),
+        Figure("ablation-late-activation", ablation_late_activation_cells,
+               lambda s, p: ablation_late_activation_merge(s, p).render()),
+    )
+}
 
 
 # ---------------------------------------------------------------------------
@@ -572,6 +1064,9 @@ def chaos(
     trace events (for the determinism test: same ``fault_seed`` + config
     must produce byte-identical JSONL), and the violation list (empty on
     a clean run).
+
+    Chaos is deliberately *not* cellified: it is a single adversarial
+    run whose value is the interleaving, not a grid of points.
     """
     from repro.faults import FaultInjector, random_plan
     from repro.faults.errors import FaultError
@@ -716,31 +1211,3 @@ def render_chaos(result: Dict) -> str:
     else:
         lines.append("  invariants: all clean (pins, locks, satellites)")
     return "\n".join(lines)
-
-
-def ablation_replay_ring(
-    scale: Scale = SMOKE,
-    ring_sizes: Sequence[int] = (16, 256, 4096, 65536),
-    interarrival: float = 40.0,
-) -> Series:
-    """The Figure 4b buffering enhancement: a larger fan-out replay ring
-    widens the hash-join step window, so later arrivals still attach."""
-    from repro.harness.config import with_overrides
-
-    series = Series(
-        title="Ablation: fan-out replay ring size vs join sharing",
-        x_label="replay ring (tuples)",
-        y_label="hash-join attaches",
-    )
-    for size in ring_sizes:
-        sized = with_overrides(scale, replay_tuples=max(1, size))
-        host, sm, engine = build_tpch_system(sized, "qpipe")
-        plans = [
-            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="count"),
-            Q.q4_hash(random.Random(SHARED_PARAM_SEED), flavor="sum"),
-        ]
-        _run_staggered(host, engine, plans, [0.0, interarrival])
-        series.add_point(
-            "attaches", size, engine.osp_stats.attaches["hashjoin"]
-        )
-    return series

@@ -25,6 +25,15 @@ by accident:
   leaks hash order, which for strings is randomized per process.  Wrap
   the set in ``sorted(...)`` before its elements flow into trace
   events, scheduling, or output.
+* **DET006** anonymous seed in experiment code: inside ``harness/`` and
+  ``workloads/``, every ``random.Random(...)`` must be seeded through a
+  *named* seed -- a constant from :mod:`repro.harness.config`
+  (``FIG_QUERY_SEED``, ``CLIENT_SEED_BASE + i``...), a ``seed``
+  parameter, or an expression derived from one.  A bare literal
+  (``random.Random(42)``) or a loop index is an anonymous seed: the
+  cell cache and the parallel fabric key results by *named* seeds
+  recorded on the :class:`~repro.parallel.cells.CellSpec`, and an
+  anonymous seed silently escapes that record.
 """
 
 from __future__ import annotations
@@ -41,7 +50,13 @@ RULES: Dict[str, str] = {
     "DET003": "OS entropy source (os.urandom / uuid / secrets).",
     "DET004": "id() used in a sort key or hash; addresses vary per run.",
     "DET005": "Iteration over a set leaks hash order; sort it first.",
+    "DET006": "Anonymous RNG seed in experiment code; use a named seed "
+              "constant (see repro.harness.config).",
 }
+
+#: Directories whose modules hold experiment definitions; only there is
+#: seed *provenance* (DET006) enforced on top of plain seededness.
+_EXPERIMENT_DIRS = ("harness", "workloads")
 
 _WALL_CLOCK = frozenset({
     "time.time", "time.time_ns",
@@ -107,6 +122,16 @@ def _check_call(module: ModuleInfo, call: ast.Call) -> Iterator[Finding]:
             "random.Random() with no seed falls back to OS entropy; "
             "pass an explicit seed",
         )
+    elif name == "random.Random" and _in_experiment_code(module):
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if not any(_mentions_seed(arg) for arg in args):
+            yield make_finding(
+                module, call, "DET006",
+                "random.Random() seeded anonymously in experiment code; "
+                "seed it through a named constant (FIG_QUERY_SEED, "
+                "CLIENT_SEED_BASE...) or a 'seed' parameter so the seed "
+                "is recorded on the cell spec",
+            )
     elif name in _OS_ENTROPY:
         yield make_finding(
             module, call, "DET003",
@@ -140,6 +165,25 @@ def _flag_id_calls(
                 f"between runs, so the resulting order is not "
                 f"reproducible",
             )
+
+
+# ---------------------------------------------------------------------------
+# DET006 -- seed provenance in experiment code
+# ---------------------------------------------------------------------------
+def _in_experiment_code(module: ModuleInfo) -> bool:
+    parts = module.rel.replace("\\", "/").split("/")
+    return any(d in parts for d in _EXPERIMENT_DIRS)
+
+
+def _mentions_seed(expr: ast.AST) -> bool:
+    """Whether any identifier leaf of *expr* names a seed
+    (``FIG_QUERY_SEED``, ``scale.seed``, a ``seed`` parameter...)."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "seed" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and "seed" in node.attr.lower():
+            return True
+    return False
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Typed errors of the parallel experiment fabric.
+
+Follows the :mod:`repro.faults` error conventions: every failure the
+fabric can surface is a typed exception carrying the structured facts a
+caller needs (here: *which cell*, after how many attempts, caused by
+what), so the harness can report a failing grid point by name instead of
+a bare traceback from an anonymous worker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.parallel.cells import CellSpec
+
+
+class CellError(RuntimeError):
+    """A cell failed permanently (its retry budget is exhausted).
+
+    Attributes:
+        spec: the failing cell's :class:`~repro.parallel.cells.CellSpec`.
+        attempts: how many times the cell was attempted.
+        cause: the underlying exception of the final attempt, if any
+            (``None`` when the worker process died without raising, e.g.
+            a crash that broke the pool).
+    """
+
+    def __init__(
+        self,
+        spec: CellSpec,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ):
+        self.spec = spec
+        self.attempts = attempts
+        self.cause = cause
+        why = f": {type(cause).__name__}: {cause}" if cause else " (worker died)"
+        super().__init__(
+            f"cell failed after {attempts} attempt(s) -- "
+            f"{spec.describe()}{why}"
+        )

@@ -69,13 +69,13 @@ def run_workload(
     """
     sm = engine.sm
     sim = sm.sim
-    rng = random.Random(seed)
+    seed_rng = random.Random(seed)
     disk_before = sm.host.disk.stats.snapshot()
     pool_before = (sm.pool.stats.hits, sm.pool.stats.misses,
                    sm.pool.stats.coalesced)
     start = sim.now
     procs = [
-        sim.spawn(client.run(engine, random.Random(rng.randrange(2**31))),
+        sim.spawn(client.run(engine, random.Random(seed_rng.randrange(2**31))),
                   name=f"client{client.client_id}")
         for client in clients
     ]

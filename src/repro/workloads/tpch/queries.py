@@ -43,9 +43,12 @@ from repro.workloads.tpch.schema import (
 
 _REVENUE = Col("l_extendedprice") * (Col("l_discount") * (-1) + 1)
 
+#: Parameter seed for callers that pass no RNG (tests, ad-hoc plans).
+DEFAULT_PARAM_SEED = 0
+
 
 def _rng(rng: Optional[random.Random]) -> random.Random:
-    return rng if rng is not None else random.Random(0)
+    return rng if rng is not None else random.Random(DEFAULT_PARAM_SEED)
 
 
 def q1(rng: Optional[random.Random] = None) -> PlanNode:

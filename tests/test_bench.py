@@ -110,6 +110,29 @@ def test_compare_threshold_is_exclusive():
     assert len(compare(just_over, baseline, threshold=0.25)) == 1
 
 
+def test_compare_macro_override_widens_the_band():
+    from repro.bench.report import threshold_for
+
+    baseline = _doc(**{
+        "macro.fig8_smoke": (1.0, "s", False),
+        "micro.drain": (1.0, "s", False),
+    })
+    current = _doc(**{
+        "macro.fig8_smoke": (1.35, "s", False),  # 35%: ok at macro's 40%
+        "micro.drain": (1.35, "s", False),       # 35%: over micro's 30%
+    })
+    overrides = {"macro.": 0.40}
+    complaints = compare(
+        current, baseline, threshold=0.30, overrides=overrides
+    )
+    assert len(complaints) == 1 and "micro.drain" in complaints[0]
+    assert threshold_for("macro.fig8_smoke", 0.30, overrides) == 0.40
+    assert threshold_for("micro.drain", 0.30, overrides) == 0.30
+    # Longest matching prefix wins.
+    layered = {"macro.": 0.40, "macro.fig8": 0.50}
+    assert threshold_for("macro.fig8_smoke", 0.30, layered) == 0.50
+
+
 def test_compare_skips_benchmarks_missing_from_either_side():
     baseline = _doc(**{
         "macro.retired": (1.0, "s", False),
@@ -137,6 +160,16 @@ def test_committed_baseline_layout():
     for rec in doc["benchmarks"].values():
         assert {"median", "p10", "p90", "samples", "unit",
                 "higher_is_better"} <= set(rec)
+
+
+def test_committed_0005_baseline_has_parallel_macros():
+    with open(REPO / "BENCH_0005.json") as fh:
+        doc = json.load(fh)
+    assert doc["issue"] == "0005"
+    assert {
+        "macro.fig8_smoke", "macro.fig12_smoke",
+        "macro.fig8_smoke_par4", "macro.fig12_smoke_par4",
+    } <= set(doc["benchmarks"])
 
 
 @pytest.mark.slow

@@ -132,3 +132,31 @@ def test_cli_runs_one_figure(capsys):
     assert harness_main(["overhead", "--scale", "smoke"]) == 0
     out = capsys.readouterr().out
     assert "ratio" in out
+    assert "cells:" in out
+
+
+def test_cli_cache_roundtrip(capsys, tmp_path):
+    args = ["overhead", "--scale", "smoke",
+            "--cache", "--cache-dir", str(tmp_path / "cache")]
+    assert harness_main(args) == 0
+    cold = capsys.readouterr().out
+    assert "cache-hits=0" in cold
+    assert harness_main(args) == 0
+    warm = capsys.readouterr().out
+    assert "hit-rate=100%" in warm
+    # Cached cells render the figure byte-identically.
+    body = lambda text: [
+        line for line in text.splitlines()
+        if "wall]" not in line and "cells:" not in line
+    ]
+    assert body(warm) == body(cold)
+
+
+def test_cli_cache_clear(capsys, tmp_path):
+    args = ["overhead", "--scale", "smoke",
+            "--cache", "--cache-dir", str(tmp_path / "cache")]
+    assert harness_main(args) == 0
+    capsys.readouterr()
+    assert harness_main(args + ["--cache-clear"]) == 0
+    out = capsys.readouterr().out
+    assert "cache-hits=0" in out

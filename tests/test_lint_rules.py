@@ -137,6 +137,70 @@ def test_det005_clean_sorted_set(tmp_path):
     assert findings == []
 
 
+def run_lint_in(tmp_path, subdir, source):
+    """Lint a snippet placed under *subdir* (DET006 is path-scoped)."""
+    (tmp_path / subdir).mkdir(parents=True, exist_ok=True)
+    return run_lint(tmp_path, source, name=f"{subdir}/mod.py")
+
+
+def test_det006_anonymous_seed_in_harness(tmp_path):
+    findings = run_lint_in(tmp_path, "harness", """\
+        import random
+
+        def cell(i):
+            return random.Random(42), random.Random(i)
+        """)
+    assert rules_of(findings) == ["DET006", "DET006"]
+
+
+def test_det006_applies_under_workloads_too(tmp_path):
+    findings = run_lint_in(tmp_path, "repro/workloads/tpch", """\
+        import random
+
+        def params():
+            return random.Random(0)
+        """)
+    assert rules_of(findings) == ["DET006"]
+
+
+def test_det006_clean_named_seed_constant(tmp_path):
+    findings = run_lint_in(tmp_path, "harness", """\
+        import random
+
+        FIG_QUERY_SEED = 1
+        CLIENT_SEED_BASE = 100
+
+        def cells(scale, i):
+            return (
+                random.Random(FIG_QUERY_SEED),
+                random.Random(CLIENT_SEED_BASE + i),
+                random.Random(scale.seed + i),
+            )
+        """)
+    assert findings == []
+
+
+def test_det006_clean_seed_parameter(tmp_path):
+    findings = run_lint_in(tmp_path, "workloads", """\
+        import random
+
+        def run(seed):
+            seed_rng = random.Random(seed)
+            return random.Random(seed_rng.randrange(2**31))
+        """)
+    assert findings == []
+
+
+def test_det006_silent_outside_experiment_dirs(tmp_path):
+    findings = run_lint(tmp_path, """\
+        import random
+
+        def anywhere():
+            return random.Random(42)
+        """)
+    assert findings == []
+
+
 # ---------------------------------------------------------------------------
 # YLD: cooperative scheduling
 # ---------------------------------------------------------------------------

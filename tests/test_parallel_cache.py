@@ -1,0 +1,152 @@
+"""The content-addressed cell cache: hit, miss, invalidation."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.config import SMOKE
+from repro.parallel.cache import CellCache
+from repro.parallel.cells import CellSpec, coords
+from repro.parallel.digest import import_graph, module_table, source_digest
+
+
+def _spec(x=1, fn="fake.module:fn"):
+    return CellSpec("figT", fn, SMOKE, coords(x=x))
+
+
+def _cache(tmp_path, digest="d0"):
+    return CellCache(
+        str(tmp_path / "cache"),
+        src_root=str(tmp_path),
+        source_digests={"fake.module": digest},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Get / put
+# ---------------------------------------------------------------------------
+def test_miss_then_hit_roundtrip(tmp_path):
+    cache = _cache(tmp_path)
+    spec = _spec()
+    hit, _ = cache.get(spec)
+    assert not hit
+    cache.put(spec, {"rows": [1, 2, 3]})
+    hit, payload = cache.get(spec)
+    assert hit and payload == {"rows": [1, 2, 3]}
+    assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+
+
+def test_payload_roundtrip_is_json_faithful(tmp_path):
+    cache = _cache(tmp_path)
+    spec = _spec()
+    payload = [[0.25, 0.913], [0.5, 1.0]]
+    cache.put(spec, payload)
+    _, back = cache.get(spec)
+    assert back == payload and type(back[0][0]) is float
+
+
+def test_distinct_specs_get_distinct_entries(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_spec(x=1), "one")
+    cache.put(_spec(x=2), "two")
+    assert cache.get(_spec(x=1))[1] == "one"
+    assert cache.get(_spec(x=2))[1] == "two"
+
+
+# ---------------------------------------------------------------------------
+# Invalidation
+# ---------------------------------------------------------------------------
+def test_source_digest_change_invalidates(tmp_path):
+    spec = _spec()
+    _cache(tmp_path, digest="before").put(spec, "stale")
+    hit, _ = _cache(tmp_path, digest="after").get(spec)
+    assert not hit
+    hit, payload = _cache(tmp_path, digest="before").get(spec)
+    assert hit and payload == "stale"
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = _cache(tmp_path)
+    spec = _spec()
+    path = cache.put(spec, "good")
+    with open(path, "w") as fh:
+        fh.write("{truncated")
+    hit, _ = cache.get(spec)
+    assert not hit
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_spec(), "x")
+    cache.clear()
+    assert not os.path.exists(cache.directory)
+    assert not cache.get(_spec())[0]
+
+
+def test_put_is_atomic_no_tmp_left_behind(tmp_path):
+    cache = _cache(tmp_path)
+    path = cache.put(_spec(), "x")
+    entries = os.listdir(os.path.dirname(path))
+    assert all(not e.endswith(f".tmp.{os.getpid()}") for e in entries)
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["payload"] == "x" and doc["sources"] == "d0"
+
+
+def test_unknown_module_raises(tmp_path):
+    cache = CellCache(str(tmp_path / "cache"), src_root=str(tmp_path))
+    with pytest.raises(KeyError):
+        cache.digest_for(_spec(fn="no.such.module:fn"))
+
+
+# ---------------------------------------------------------------------------
+# The import-graph digest itself (synthetic tree)
+# ---------------------------------------------------------------------------
+def _write_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("from pkg import b\n")
+    (pkg / "b.py").write_text("import pkg.c\n")
+    (pkg / "c.py").write_text("X = 1\n")
+    (pkg / "lonely.py").write_text("Y = 2\n")
+    return tmp_path
+
+
+def test_module_table_and_graph(tmp_path):
+    root = str(_write_tree(tmp_path))
+    table = module_table(root)
+    assert set(table) == {"pkg", "pkg.a", "pkg.b", "pkg.c", "pkg.lonely"}
+    graph = import_graph(root)
+    assert "pkg.b" in graph["pkg.a"]
+    assert "pkg.c" in graph["pkg.b"]
+    assert graph["pkg.lonely"] == set()
+
+
+def test_source_digest_tracks_transitive_edits(tmp_path):
+    root = str(_write_tree(tmp_path))
+    before = source_digest("pkg.a", root)
+    assert before == source_digest("pkg.a", root)
+    # Editing a transitively imported module busts the digest...
+    (tmp_path / "pkg" / "c.py").write_text("X = 99\n")
+    assert source_digest("pkg.a", root) != before
+    # ...but editing an unreachable module does not.
+    mid = source_digest("pkg.a", root)
+    (tmp_path / "pkg" / "lonely.py").write_text("Y = 3\n")
+    assert source_digest("pkg.a", root) == mid
+
+
+def test_real_experiments_digest_is_stable_and_engine_wide():
+    import repro
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    d1 = source_digest("repro.harness.experiments", src_root)
+    assert d1 == source_digest("repro.harness.experiments", src_root)
+    graph = import_graph(src_root)
+    # The experiments module must reach the engine it measures.
+    from repro.parallel.digest import closure
+    reachable = set(closure(graph, ["repro.harness.experiments"]))
+    assert "repro.engine.core" in reachable or any(
+        m.startswith("repro.engine") for m in reachable
+    )
+    assert any(m.startswith("repro.storage") for m in reachable)

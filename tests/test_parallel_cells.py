@@ -1,0 +1,96 @@
+"""The cell model: specs, registry, fingerprints, serial execution."""
+
+import json
+
+import pytest
+
+from repro.harness.config import SMOKE
+from repro.parallel.cells import (
+    CellSpec,
+    cell,
+    coords,
+    execute_cell,
+    fingerprint,
+    fn_key,
+    merge_payloads,
+    resolve,
+    run_cells_serial,
+    spec_hash,
+)
+
+
+@cell
+def double_cell(spec):
+    return spec.coord["x"] * 2
+
+
+def _spec(**kw):
+    return CellSpec("figT", fn_key(double_cell), SMOKE, coords(**kw))
+
+
+# ---------------------------------------------------------------------------
+# Spec identity and hashing
+# ---------------------------------------------------------------------------
+def test_specs_are_frozen_and_hashable():
+    a, b = _spec(x=3), _spec(x=3)
+    assert a == b and hash(a) == hash(b)
+    assert _spec(x=4) != a
+    with pytest.raises(AttributeError):
+        a.figure = "other"
+
+
+def test_coords_are_canonically_sorted():
+    assert coords(b=1, a=2) == (("a", 2), ("b", 1))
+    assert CellSpec("f", "m:f", SMOKE, coords(b=1, a=2)) == CellSpec(
+        "f", "m:f", SMOKE, coords(a=2, b=1)
+    )
+
+
+def test_slug_is_filesystem_safe_and_distinct():
+    spec = CellSpec(
+        "fig8", "m:f", SMOKE, coords(system="qpipe/osp", gap=20.5)
+    )
+    slug = spec.slug()
+    assert "/" not in slug and " " not in slug
+    assert slug != CellSpec(
+        "fig8", "m:f", SMOKE, coords(system="qpipe", gap=20.5)
+    ).slug()
+
+
+def test_fingerprint_is_json_ready_and_scale_aware():
+    spec = _spec(x=1)
+    doc = fingerprint(spec)
+    json.dumps(doc)  # must not raise
+    assert doc["scale"]["name"] == SMOKE.name
+    assert doc["coords"] == [["x", 1]]
+
+
+def test_spec_hash_covers_spec_and_sources():
+    spec = _spec(x=1)
+    assert spec_hash(spec, "d1") != spec_hash(spec, "d2")
+    assert spec_hash(spec, "d1") == spec_hash(_spec(x=1), "d1")
+    assert spec_hash(_spec(x=2), "d1") != spec_hash(spec, "d1")
+
+
+# ---------------------------------------------------------------------------
+# Registry and execution
+# ---------------------------------------------------------------------------
+def test_resolve_registry_hit_and_import_fallback():
+    assert resolve(fn_key(double_cell)) is double_cell
+    key = "repro.harness.experiments:fig8_cell"
+    fn = resolve(key)
+    assert fn_key(fn) == key
+
+
+def test_execute_and_serial_run():
+    specs = [_spec(x=1), _spec(x=5)]
+    result = execute_cell(specs[0])
+    assert result.payload == 2 and not result.cached
+    payloads = run_cells_serial(specs)
+    assert payloads == {specs[0]: 2, specs[1]: 10}
+
+
+def test_merge_payloads_orders_by_spec_list():
+    specs = [_spec(x=1), _spec(x=2)]
+    results = {specs[1]: 4, specs[0]: 2}
+    assert merge_payloads(specs, results) == [(specs[0], 2), (specs[1], 4)]

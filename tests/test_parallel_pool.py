@@ -1,0 +1,270 @@
+"""PoolRunner failure handling, scripted through fake executors.
+
+The fakes complete futures eagerly (a cell "runs" at submit time), which
+is enough to drive every branch of the runner's pool path: retries,
+permanent CellError, broken-pool recovery with marker-based crash
+attribution, and Ctrl-C teardown.
+"""
+
+import os
+from concurrent.futures import BrokenExecutor, Future
+
+import pytest
+
+from repro.harness.config import SMOKE
+from repro.parallel import CellCache, CellError, PoolRunner
+from repro.parallel.cells import CellSpec, cell, coords, fn_key
+
+
+@cell
+def ok_cell(spec):
+    return spec.coord["x"] + 1
+
+
+@cell
+def boom_cell(spec):
+    raise ValueError("boom")
+
+
+@cell
+def flaky_cell(spec):
+    """Fails on the first attempt, succeeds on the second (the flag file
+    carries 'already tried once' across attempts)."""
+    flag = spec.coord["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return "recovered"
+
+
+def ok_spec(x=1):
+    return CellSpec("figT", fn_key(ok_cell), SMOKE, coords(x=x))
+
+
+def boom_spec():
+    return CellSpec("figT", fn_key(boom_cell), SMOKE, coords(x=0))
+
+
+def flaky_spec(tmp_path):
+    flag = str(tmp_path / "attempted.flag")
+    return CellSpec("figT", fn_key(flaky_cell), SMOKE, coords(flag=flag))
+
+
+# ---------------------------------------------------------------------------
+# Fake executor machinery
+# ---------------------------------------------------------------------------
+class FakeProc:
+    def __init__(self):
+        self.terminated = False
+
+    def terminate(self):
+        self.terminated = True
+
+
+class FakeExecutor:
+    """Executor double: runs the submitted callable at submit() time.
+
+    ``behavior(fn, args)`` computes the future's outcome; the default
+    simply calls through (so the real ``_worker`` body runs in-process).
+    """
+
+    def __init__(self, behavior=None):
+        self.behavior = behavior or (lambda fn, args: fn(*args))
+        self.submitted = []
+        self.shutdown_calls = []
+        self._processes = {0: FakeProc()}
+
+    def submit(self, fn, *args):
+        self.submitted.append(args)
+        future = Future()
+        try:
+            result = self.behavior(fn, args)
+        except BaseException as exc:  # includes KeyboardInterrupt
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append((wait, cancel_futures))
+
+    @property
+    def terminated(self):
+        return self._processes[0].terminated
+
+
+class Factory:
+    """Counts executors handed to the runner; scripts each generation."""
+
+    def __init__(self, *behaviors):
+        self.behaviors = list(behaviors)
+        self.executors = []
+
+    def __call__(self, jobs):
+        behavior = (
+            self.behaviors.pop(0) if self.behaviors else None
+        )
+        executor = FakeExecutor(behavior)
+        self.executors.append(executor)
+        return executor
+
+
+# ---------------------------------------------------------------------------
+# Serial path (jobs=1): retry budget and typed failure
+# ---------------------------------------------------------------------------
+def test_serial_retry_recovers(tmp_path):
+    runner = PoolRunner(jobs=1)
+    spec = flaky_spec(tmp_path)
+    results = runner.run([spec])
+    assert results[spec].payload == "recovered"
+    assert results[spec].attempts == 2
+    assert runner.stats.retries == 1
+
+
+def test_serial_permanent_failure_names_the_cell():
+    runner = PoolRunner(jobs=1, retries=1)
+    with pytest.raises(CellError) as err:
+        runner.run([boom_spec()])
+    assert err.value.attempts == 2
+    assert isinstance(err.value.cause, ValueError)
+    assert "figT" in str(err.value) and "x=0" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Pool path: basics
+# ---------------------------------------------------------------------------
+def test_pool_runs_and_dedupes():
+    factory = Factory()
+    with PoolRunner(jobs=2, executor_factory=factory) as runner:
+        a, b = ok_spec(1), ok_spec(2)
+        results = runner.run([a, a, b])
+    assert results[a].payload == 2 and results[b].payload == 3
+    assert runner.stats.total == 2 and runner.stats.executed == 2
+    assert len(factory.executors[0].submitted) == 2
+
+
+def test_pool_retry_recovers(tmp_path):
+    factory = Factory()
+    with PoolRunner(jobs=2, executor_factory=factory) as runner:
+        spec = flaky_spec(tmp_path)
+        results = runner.run([spec])
+    assert results[spec].payload == "recovered"
+    assert results[spec].attempts == 2
+    assert runner.stats.retries == 1
+
+
+def test_pool_permanent_failure_raises_cell_error():
+    factory = Factory()
+    with PoolRunner(jobs=2, executor_factory=factory, retries=1) as runner:
+        with pytest.raises(CellError) as err:
+            runner.run([boom_spec()])
+    assert err.value.attempts == 2
+    assert err.value.spec == boom_spec()
+
+
+# ---------------------------------------------------------------------------
+# Pool path: worker crash (broken pool) with marker attribution
+# ---------------------------------------------------------------------------
+def _breaking_behavior(guilty_slug):
+    """First-generation pool: the guilty cell's worker touches its
+    marker and dies, breaking the pool -- every future fails."""
+
+    def behavior(fn, args):
+        spec, _trace, marker = args
+        if spec.slug() == guilty_slug:
+            with open(marker, "w"):
+                pass
+        raise BrokenExecutor("process pool is broken")
+
+    return behavior
+
+
+def test_broken_pool_charges_only_the_marked_cell():
+    guilty, innocent = ok_spec(7), ok_spec(8)
+    factory = Factory(_breaking_behavior(guilty.slug()))
+    with PoolRunner(jobs=2, executor_factory=factory) as runner:
+        results = runner.run([guilty, innocent])
+    # Both cells completed on the rebuilt pool.
+    assert results[guilty].payload == 8
+    assert results[innocent].payload == 9
+    # Only the marked (actually running) cell spent retry budget.
+    assert results[guilty].attempts == 2
+    assert results[innocent].attempts == 1
+    assert runner.stats.retries == 1
+    # The broken executor was replaced and its processes terminated.
+    assert len(factory.executors) == 2
+    assert factory.executors[0].terminated
+    assert factory.executors[0].shutdown_calls == [(False, True)]
+
+
+def test_broken_pool_exhausts_budget_into_cell_error():
+    guilty = ok_spec(7)
+    factory = Factory(
+        _breaking_behavior(guilty.slug()),
+        _breaking_behavior(guilty.slug()),
+    )
+    with PoolRunner(jobs=2, executor_factory=factory, retries=1) as runner:
+        with pytest.raises(CellError) as err:
+            runner.run([guilty])
+    assert err.value.spec == guilty
+    assert err.value.cause is None
+    assert "worker died" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Pool path: Ctrl-C
+# ---------------------------------------------------------------------------
+def test_keyboard_interrupt_tears_the_pool_down():
+    def interrupting(fn, args):
+        spec, _trace, _marker = args
+        if spec.coord["x"] == 13:
+            raise KeyboardInterrupt()
+        return fn(*args)
+
+    factory = Factory(interrupting)
+    runner = PoolRunner(jobs=2, executor_factory=factory)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run([ok_spec(13), ok_spec(1), ok_spec(2)])
+    executor = factory.executors[0]
+    # The pool was shut down without waiting, futures cancelled, and the
+    # worker processes terminated -- Ctrl-C must not drain in-flight work.
+    assert executor.shutdown_calls == [(False, True)]
+    assert executor.terminated
+    runner.close()
+
+
+# ---------------------------------------------------------------------------
+# Cache integration
+# ---------------------------------------------------------------------------
+def _cache(tmp_path):
+    return CellCache(
+        str(tmp_path / "cache"),
+        src_root=str(tmp_path),
+        source_digests={ok_cell.__module__: "synthetic"},
+    )
+
+
+def test_runner_consults_and_fills_the_cache(tmp_path):
+    specs = [ok_spec(1), ok_spec(2)]
+    with PoolRunner(jobs=1, cache=_cache(tmp_path)) as runner:
+        first = runner.run(specs)
+    assert runner.stats.cache_hits == 0 and runner.stats.executed == 2
+    with PoolRunner(jobs=1, cache=_cache(tmp_path)) as warm:
+        second = warm.run(specs)
+    assert warm.stats.cache_hits == 2 and warm.stats.executed == 0
+    assert warm.stats.hit_rate == 1.0
+    for spec in specs:
+        assert second[spec].cached
+        assert second[spec].payload == first[spec].payload
+
+
+def test_tracing_bypasses_cache_reads(tmp_path):
+    spec = ok_spec(1)
+    with PoolRunner(jobs=1, cache=_cache(tmp_path)) as runner:
+        runner.run([spec])
+    with PoolRunner(jobs=1, cache=_cache(tmp_path), trace=True) as traced:
+        results = traced.run([spec])
+    assert traced.stats.cache_hits == 0 and traced.stats.executed == 1
+    assert not results[spec].cached
+    assert results[spec].traces == []  # no simulated hosts in ok_cell
