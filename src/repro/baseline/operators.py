@@ -41,6 +41,7 @@ from repro.relational.plans import (
 from repro.relational.schema import Schema
 from repro.storage.locks import LockMode
 from repro.storage.manager import StorageManager
+from repro.storage.streams import next_stream
 
 
 @dataclass
@@ -96,11 +97,14 @@ class ScanOp(Operator):
         )
         self._next_page = 0
         self._num_pages = ctx.sm.num_pages(plan.table)
+        # Constant for the op's lifetime, like id(self) was -- but never
+        # reused by a later scan (see repro.storage.streams).
+        self._stream = next_stream()
 
     def next_batch(self):
         while self._next_page < self._num_pages:
             page = yield from self.ctx.sm.read_table_page(
-                self.table, self._next_page, scan=True, stream=id(self)
+                self.table, self._next_page, scan=True, stream=self._stream
             )
             self._next_page += 1
             rows = page.rows()
@@ -139,6 +143,7 @@ class IndexScanOp(Operator):
         self._page_no: Optional[int] = None
         self._stopped = False
         self._cursor = 0
+        self._stream = next_stream()
 
     def _probe(self):
         pairs = yield from self.ctx.sm.index_range(
@@ -161,7 +166,7 @@ class IndexScanOp(Operator):
         num_pages = sm.num_pages(plan.table)
         while not self._stopped and self._page_no < num_pages:
             page = yield from sm.read_table_page(
-                plan.table, self._page_no, scan=True, stream=id(self)
+                plan.table, self._page_no, scan=True, stream=self._stream
             )
             self._page_no += 1
             rows = page.rows()
@@ -196,7 +201,7 @@ class IndexScanOp(Operator):
             # Group consecutive RIDs on the same page into one fetch.
             block = rids[self._cursor].block_no
             page = yield from self.ctx.sm.read_table_page(
-                self.plan.table, block, scan=True, stream=id(self)
+                self.plan.table, block, scan=True, stream=self._stream
             )
             group: List[tuple] = []
             while (

@@ -45,6 +45,44 @@ def _run_parallel(specs) -> None:
         runner.run(specs)
 
 
+def _run_serial(specs) -> None:
+    from repro.parallel.cells import run_cells_serial
+
+    run_cells_serial(specs)
+
+
+def fig8_pushed() -> None:
+    """The ``fig8_smoke`` grid with *every* cell on the push backend.
+
+    Unlike the harness's ``--engine pushed`` (which substitutes only the
+    engine-invariant slots), this forces the whole grid -- including the
+    QPipe-persona slots -- onto the fused pipelines: the point is the
+    backend's wall-clock on the full sweep, not figure fidelity.
+    """
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fig8_cells, force_engine
+
+    _run_serial(
+        force_engine(
+            fig8_cells(
+                SMOKE,
+                client_counts=FIG8_CLIENTS,
+                interarrivals=FIG8_INTERARRIVALS,
+            ),
+            "pushed",
+        )
+    )
+
+
+def fig12_pushed() -> None:
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fig12_cells, force_engine
+
+    _run_serial(
+        force_engine(fig12_cells(SMOKE, client_counts=FIG12_CLIENTS), "pushed")
+    )
+
+
 def fig8_smoke_par4() -> None:
     """The same cells as ``fig8_smoke``, through a 4-worker pool.
 
@@ -77,4 +115,6 @@ def suite() -> List[Bench]:
         Bench("macro.fig12_smoke", fig12_smoke, "s"),
         Bench("macro.fig8_smoke_par4", fig8_smoke_par4, "s"),
         Bench("macro.fig12_smoke_par4", fig12_smoke_par4, "s"),
+        Bench("macro.fig8_pushed", fig8_pushed, "s"),
+        Bench("macro.fig12_pushed", fig12_pushed, "s"),
     ]

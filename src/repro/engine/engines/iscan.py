@@ -117,7 +117,7 @@ class IScanEngine(MicroEngine):
         page_no = start_page
         while page_no < end:
             page = yield from sm.read_table_page(
-                plan.table, page_no, scan=True, stream=id(packet)
+                plan.table, page_no, scan=True, stream=packet.stream
             )
             rows = page.rows()
             yield from self.charge(packet, len(rows))
@@ -183,7 +183,7 @@ class IScanEngine(MicroEngine):
         while i < stop:
             block = pairs[i][1].block_no
             page = yield from sm.read_table_page(
-                table, block, scan=True, stream=id(packet)
+                table, block, scan=True, stream=packet.stream
             )
             group: List[tuple] = []
             j = i

@@ -74,7 +74,7 @@ class FScanEngine(MicroEngine):
         try:
             for block in range(sm.num_pages(plan.table)):
                 page = yield from sm.read_table_page(
-                    plan.table, block, scan=True, stream=id(packet)
+                    plan.table, block, scan=True, stream=packet.stream
                 )
                 rows = page.rows()
                 yield from self.charge(packet, len(rows))

@@ -15,6 +15,7 @@ from typing import Any, Dict, Generator, List, Optional
 
 from repro.engine.buffers import FanOut, TupleBuffer
 from repro.relational.plans import PlanNode
+from repro.storage.streams import next_stream
 
 
 class PacketState(enum.Enum):
@@ -107,6 +108,12 @@ class Packet:
     #: buffer from the host fan-out; redispatch interrupts it so a
     #: half-finished replay cannot race the private re-execution.
     attach_proc: Any = None
+    #: Buffer-pool scan-stream identity, one per packet for its whole
+    #: life (the OSP attach paths reuse it across passes).  Drawn from
+    #: the process-wide counter rather than id(packet) so a recycled
+    #: object address can never match a dead scan's ring entries
+    #: (see repro.storage.streams).
+    stream: Any = field(default_factory=next_stream)
 
     @property
     def active(self) -> bool:

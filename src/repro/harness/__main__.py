@@ -27,6 +27,7 @@ from repro.harness import (
     chaos,
     render_chaos,
 )
+from repro.harness.experiments import substitute_engine
 from repro.parallel import CellCache, CellError, PoolRunner
 from repro.parallel.cache import DEFAULT_DIR as CACHE_DIR
 
@@ -57,6 +58,17 @@ def main(argv=None) -> int:
             "worker processes for cell execution (default: 1 = serial "
             "in-process; 0 = one per CPU); output is byte-identical "
             "for every N"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("packets", "pushed"),
+        default=os.environ.get("REPRO_ENGINE", "packets"),
+        help=(
+            "execution backend for engine-invariant cells (default: "
+            "packets, or $REPRO_ENGINE); 'pushed' runs them on the "
+            "push-based fused backend -- rendered output is byte-"
+            "identical either way"
         ),
     )
     parser.add_argument(
@@ -128,7 +140,9 @@ def main(argv=None) -> int:
             for name in names:
                 # Wall-clock here measures the *host*, never sim behaviour.
                 start = time.time()  # simlint: disable=DET001
-                specs = FIGURES[name].cells(scale)
+                specs = substitute_engine(
+                    FIGURES[name].cells(scale), args.engine
+                )
                 results = runner.run(specs)
                 payloads = {s: r.payload for s, r in results.items()}
                 print(FIGURES[name].render(specs, payloads))

@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from repro.baseline.engine import IteratorEngine
 from repro.engine.qpipe import QPipeConfig, QPipeEngine
+from repro.pushexec import PushEngine
 from repro.hw.host import Host, HostConfig
 from repro.storage.manager import StorageManager
 from repro.workloads.tpch import TpchScale, load_tpch
@@ -156,7 +157,8 @@ def _estimate_lineitem_pages(scale: Scale) -> int:
 
 
 def build_tpch_system(
-    scale: Scale, system: str, seed_offset: int = 0
+    scale: Scale, system: str, seed_offset: int = 0,
+    backend: str = "packets",
 ) -> Tuple[Host, StorageManager, object]:
     """A loaded TPC-H database plus the requested engine."""
     host = _host_for_pages(scale, _estimate_lineitem_pages(scale))
@@ -172,12 +174,12 @@ def build_tpch_system(
         scan_ring_fraction=0.375 if system == "dbmsx" else 0.125,
     )
     load_tpch(sm, TpchScale(scale.tpch_factor), seed=scale.seed + seed_offset)
-    engine = make_engine(sm, scale, system)
+    engine = make_engine(sm, scale, system, backend=backend)
     return host, sm, engine
 
 
 def build_wisconsin_system(
-    scale: Scale, system: str
+    scale: Scale, system: str, backend: str = "packets"
 ) -> Tuple[Host, StorageManager, object]:
     """A loaded Wisconsin database plus the requested engine.
 
@@ -203,12 +205,32 @@ def build_wisconsin_system(
     )
     load_wisconsin(sm, WisconsinScale(big_rows=scale.wisconsin_big_rows),
                    seed=scale.seed)
-    engine = make_engine(sm, scale, system)
+    engine = make_engine(sm, scale, system, backend=backend)
     return host, sm, engine
 
 
-def make_engine(sm: StorageManager, scale: Scale, system: str):
-    """The engine object for a system name (see module docstring)."""
+def make_engine(
+    sm: StorageManager, scale: Scale, system: str,
+    backend: str = "packets",
+):
+    """The engine object for a system name (see module docstring).
+
+    ``backend`` selects the execution machinery: ``"packets"`` is the
+    historical mapping (QPipe micro-engines for qpipe/baseline, the
+    iterator engine for dbms-x); ``"pushed"`` runs the persona on the
+    push-based fused backend instead, keeping the persona's name so
+    reports and lock owners read the same.  The harness only substitutes
+    the push backend where the figure's payload is engine-invariant
+    (see ``repro.harness.experiments.substitute_engine``).
+    """
+    if backend == "pushed":
+        return PushEngine(
+            sm,
+            work_mem_tuples=scale.work_mem_tuples,
+            name="dbms-x" if system == "dbmsx" else system,
+        )
+    if backend != "packets":
+        raise ValueError(f"unknown backend {backend!r}; want packets|pushed")
     if system == "dbmsx":
         return IteratorEngine(
             sm, work_mem_tuples=scale.work_mem_tuples, name="dbms-x"

@@ -108,9 +108,12 @@ FIG1A_TRACKED = ("lineitem", "orders", "part")
 @cell
 def fig1a_cell(spec: CellSpec) -> Dict[str, float]:
     """Per-table share of disk read time for one query, solo."""
-    name = spec.coord["query"]
+    c = spec.coord
+    name = c["query"]
     builder = Q.QUERY_BUILDERS[name.lower()]
-    host, sm, engine = build_tpch_system(spec.scale, "dbmsx")
+    host, sm, engine = build_tpch_system(
+        spec.scale, "dbmsx", backend=c.get("engine", "packets")
+    )
     file_to_table = {sm.table_file_id(t): t for t in sm.catalog.tables()}
     before = host.disk.stats.snapshot()
     host.sim.spawn(engine.execute(builder(random.Random(FIG_QUERY_SEED))))
@@ -280,7 +283,9 @@ def fig4_wop(
 def fig8_cell(spec: CellSpec) -> int:
     """Total disk blocks read by N staggered Q6 clients on one system."""
     c = spec.coord
-    host, sm, engine = build_tpch_system(spec.scale, c["system"])
+    host, sm, engine = build_tpch_system(
+        spec.scale, c["system"], backend=c.get("engine", "packets")
+    )
     plans = [
         Q.q6(random.Random(CLIENT_SEED_BASE + i)) for i in range(c["count"])
     ]
@@ -487,7 +492,9 @@ def fig12_cell(spec: CellSpec) -> float:
     """TPC-H mix throughput (queries/hour) at one client count."""
     c = spec.coord
     scale = spec.scale
-    host, sm, engine = build_tpch_system(scale, c["system"])
+    host, sm, engine = build_tpch_system(
+        scale, c["system"], backend=c.get("engine", "packets")
+    )
     builders = [Q.QUERY_BUILDERS[name] for name in MIX]
     factory = mixed_tpch_factory(builders)
     clients = [
@@ -969,6 +976,89 @@ def ablation_replay_ring(
     widens the hash-join step window, so later arrivals still attach."""
     specs = ablation_replay_cells(scale, ring_sizes, interarrival)
     return ablation_replay_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
+# Engine substitution (the CLI --engine flag)
+# ---------------------------------------------------------------------------
+#: Cell functions that honour an ``engine`` coordinate (they forward it
+#: to the system builders as ``backend=``).  Specs whose function is not
+#: listed here are never rewritten.
+_ENGINE_AWARE_FNS = frozenset((
+    "repro.harness.experiments:fig1a_cell",
+    "repro.harness.experiments:fig8_cell",
+    "repro.harness.experiments:fig12_cell",
+))
+
+
+def _with_engine(spec: CellSpec, backend: str) -> CellSpec:
+    """Rebuild *spec* with an ``engine`` coordinate.
+
+    The coordinate feeds the cache key, so packet- and push-backed runs
+    of the same grid point never collide in the content-addressed cache.
+    """
+    return CellSpec(
+        spec.figure, spec.fn, spec.scale,
+        coords(**{**dict(spec.coords), "engine": backend}),
+        seeds=spec.seeds,
+    )
+
+
+def _engine_invariant(spec: CellSpec) -> bool:
+    """True when *spec*'s payload provably does not depend on whether the
+    persona runs on the packet/iterator machinery or the push backend.
+
+    * fig1a always runs the dbms-x persona: the push backend replays the
+      iterator engine's exact virtual-cost schedule, so every payload --
+      timings included -- is identical.
+    * Any ``system == "dbmsx"`` slot, for the same reason.
+    * fig8's ``system == "baseline"`` slots: with sharing off the payload
+      (total disk blocks read) is decided by the buffer pool alone, which
+      both backends drive with the same page-access sequence.  QPipe
+      w/OSP slots are *not* invariant -- OSP lives in the packet engine.
+    """
+    if spec.fn not in _ENGINE_AWARE_FNS:
+        return False
+    c = spec.coord
+    if spec.fn.endswith(":fig1a_cell"):
+        return True
+    if c.get("system") == "dbmsx":
+        return True
+    return spec.fn.endswith(":fig8_cell") and c.get("system") == "baseline"
+
+
+def substitute_engine(
+    specs: Sequence[CellSpec], backend: str
+) -> List[CellSpec]:
+    """Rewrite the engine-invariant slots of *specs* to run on *backend*.
+
+    Used by ``python -m repro.harness --engine pushed``: the figure's
+    rendered bytes must not change, so only slots whose payload is
+    provably backend-independent (see :func:`_engine_invariant`) are
+    rewritten; the rest keep the historical packet machinery.
+    """
+    if backend == "packets":
+        return list(specs)
+    return [
+        _with_engine(s, backend) if _engine_invariant(s) else s
+        for s in specs
+    ]
+
+
+def force_engine(specs: Sequence[CellSpec], backend: str) -> List[CellSpec]:
+    """Rewrite *every* engine-aware slot of *specs* to run on *backend*.
+
+    For wall-clock benchmarking (``repro.bench``'s ``*_pushed`` macros),
+    where the point is to time the backend on the full grid and figure
+    fidelity is out of scope.  Slots whose cell function ignores the
+    engine coordinate are left alone rather than silently mislabelled.
+    """
+    if backend == "packets":
+        return list(specs)
+    return [
+        _with_engine(s, backend) if s.fn in _ENGINE_AWARE_FNS else s
+        for s in specs
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.engine.packets import Packet
 from repro.faults.errors import FaultError
 from repro.sim import ChannelClosed, Event, Interrupted
 from repro.storage.locks import LockMode
+from repro.storage.streams import next_stream
 
 
 @dataclass
@@ -45,6 +46,9 @@ class ScanConsumer:
     #: already received it under the same visit are skipped, keeping
     #: delivery exactly-once across crashes.
     last_visit: int = -1
+    #: Buffer-pool stream identity for this consumer's private catch-up
+    #: scan (process-unique, never a recycled object id).
+    stream: Any = field(default_factory=next_stream)
 
 
 @dataclass
@@ -63,6 +67,8 @@ class CircularScan:
     visit_seq: int = 0
     #: The scanner process currently driving this scan (crash target).
     scanner_proc: Any = None
+    #: Buffer-pool stream identity of the shared scanner itself.
+    stream: Any = field(default_factory=next_stream)
 
 
 class CircularScanManager:
@@ -197,7 +203,7 @@ class CircularScanManager:
         sm = self.sm
         while scan.consumers:
             page = yield from sm.read_table_page(
-                scan.table, scan.current_page, scan=True, stream=id(scan)
+                scan.table, scan.current_page, scan=True, stream=scan.stream
             )
             rows = page.rows()
             scan.total_pages_scanned += 1
@@ -318,7 +324,7 @@ class CircularScanManager:
         try:
             while consumer.pages_remaining > 0:
                 page = yield from sm.read_table_page(
-                    table, page_no, scan=True, stream=id(consumer)
+                    table, page_no, scan=True, stream=consumer.stream
                 )
                 status = yield from self._deliver_blocking(consumer, page.rows())
                 if not status:

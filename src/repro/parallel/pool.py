@@ -98,6 +98,16 @@ class PoolRunner:
         executor_factory: Optional[Callable[[int], Any]] = None,
     ):
         self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        if executor_factory is None:
+            # Real process pools gain nothing from more workers than
+            # cores; on a 1-core machine ``--jobs 4`` used to pay four
+            # spawn-context interpreter startups for strictly serial
+            # execution (the macro.fig12_smoke_par4 regression).  Clamp
+            # to the machine -- payloads are placement-independent, so
+            # this only changes wall-clock.  Injected executor factories
+            # are test fakes scripting crash scenarios: they need the
+            # requested worker count verbatim, not the machine's.
+            self.jobs = min(self.jobs, os.cpu_count() or 1)
         self.cache = cache
         self.trace = trace
         self.retries = retries

@@ -1,0 +1,23 @@
+"""repro.pushexec -- the push-based fused execution backend.
+
+The third engine, next to the pull-based
+:class:`~repro.baseline.engine.IteratorEngine` and the packet-based
+:class:`~repro.engine.qpipe.QPipeEngine`.  Operator chains are compiled
+into fused push pipelines (:mod:`repro.pushexec.fusion`,
+:mod:`repro.pushexec.compiler`) that move whole tuple batches between
+pipeline breakers in a single coroutine frame, instead of pulling every
+batch through a stack of nested ``yield from`` iterators or routing it
+through per-operator packet channels.
+
+The backend's load-bearing property is *virtual-cost equivalence*: a
+compiled pipeline issues the exact storage-manager calls and CPU
+charges, in the exact order, that the iterator reference issues for the
+same plan (see :mod:`repro.pushexec.compiler`).  Every figure value the
+iterator engine produces is therefore reproduced bit-for-bit; only the
+host wall-clock spent simulating it shrinks.
+"""
+
+from repro.pushexec.engine import PushEngine
+from repro.pushexec.compiler import compile_plan
+
+__all__ = ["PushEngine", "compile_plan"]

@@ -1,0 +1,939 @@
+"""Plan trees compiled to push-based pipelines.
+
+A plan is decomposed at its *pipeline breakers* (sort, aggregate, group
+by, hash/merge/NL join build) into pipelines: one batch *source* plus a
+chain of fused streaming stages (:mod:`repro.pushexec.fusion`).  Each
+pipeline compiles to a single generator that pushes row batches upward
+as ``(_BATCH, rows)`` markers interleaved with simulation events; a
+breaker consumes its child pipeline through :func:`pull_batch`, which
+forwards events both ways.  Where the iterator engine suspends one
+coroutine frame per operator per batch, a compiled pipeline crosses one
+frame per *breaker* -- the per-operator interface cost (the Channel hop
+in QPipe, the ``yield from`` hop here) is fused away, per Shaikhha et
+al.'s push-based loop fusion.
+
+Equivalence contract (load-bearing -- the byte-identical-figure tests
+enforce it): for every plan, a compiled pipeline issues the **exact
+sequence** of storage-manager calls and CPU charges that the reference
+iterator operators in :mod:`repro.baseline.operators` issue.  Each
+source/breaker below is a transliteration of the corresponding operator
+with the same charge points, the same batch boundaries, the same spill
+thresholds and the same temp-file lifetimes.  The planner's fuse /
+materialize choices (:func:`repro.sql.planner.plan_pipelines`) only ever
+select *how the host computes* a batch, never what the simulation sees;
+runtime guards (actual row counts) make spill decisions, exactly like
+the iterator, so a mis-estimate costs host-side specialisation, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count
+from operator import itemgetter
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.baseline.operators import ExecContext, SortOp, _Neg
+from repro.pushexec import fusion
+from repro.relational.expressions import Col, bind_aggregates
+from repro.relational.plans import (
+    Aggregate,
+    AntiJoin,
+    DeleteRows,
+    Distinct,
+    Filter,
+    GroupBy,
+    HashJoin,
+    IndexScan,
+    InsertRows,
+    LeftOuterJoin,
+    Limit,
+    MergeJoin,
+    NLJoin,
+    PlanNode,
+    Project,
+    SemiJoin,
+    Sort,
+    TableScan,
+    UpdateRows,
+)
+from repro.storage.locks import LockMode
+from repro.storage.page import RID
+
+__all__ = ["Pipeline", "compile_plan", "pull_batch"]
+
+#: Marker tag: pipelines yield ``(_BATCH, rows)`` between simulation
+#: events.  A unique sentinel object, so no sim event can collide.
+_BATCH = object()
+
+#: Circular-scan stream identities.  The iterator reference uses
+#: ``id(self)`` of the live scan op; the pool only ever compares streams
+#: for (in)equality, so any value that is unique per scan execution is
+#: equivalent -- except that a *recycled* ``id()`` can accidentally match
+#: a finished scan's leftover ring entries and turn its misses into
+#: hits.  A process-global counter can never collide with a previous
+#: scan, which is exactly the (observed) behaviour of the reference:
+#: live op objects always have distinct ids.
+_stream_ids = count(1)
+
+
+def _next_stream() -> Tuple[str, int]:
+    return ("pushscan", next(_stream_ids))
+
+
+def pull_batch(gen) -> Generator:
+    """Coroutine: resume *gen* to its next batch marker.
+
+    Forwards every simulation event (and the kernel's replies) between
+    *gen* and the caller's scheduler; returns the marker's rows, or
+    ``None`` once *gen* is exhausted.  The push-side counterpart of
+    ``Operator.next_batch``.
+    """
+    try:
+        item = next(gen)
+    except StopIteration:
+        return None
+    while True:
+        if type(item) is tuple and item and item[0] is _BATCH:
+            return item[1]
+        value = yield item
+        try:
+            item = gen.send(value)
+        except StopIteration:
+            return None
+
+
+class Pipeline:
+    """One compiled pipeline: a source plus fused streaming stages.
+
+    ``generator()`` instantiates the pipeline as a single coroutine.
+    Stages hold per-query state (limit counters, distinct sets), so a
+    pipeline is instantiated exactly once per execution.
+    """
+
+    __slots__ = ("ctx", "source_factory", "stages", "preludes", "schema")
+
+    def __init__(self, ctx, source_factory, stages, preludes, schema):
+        self.ctx = ctx
+        self.source_factory = source_factory
+        self.stages = list(stages)
+        self.preludes = list(preludes)
+        self.schema = schema
+
+    def generator(self):
+        if not self.stages and not self.preludes:
+            return self.source_factory()
+        return _drive(self.ctx, self.preludes, self.source_factory, self.stages)
+
+
+def _drive(ctx, preludes, source_factory, stages):
+    """The fused driver loop: one frame for the whole stage chain.
+
+    Per source batch this replays the iterator chain's schedule: each
+    stage's CPU charge, then its transformation, skipping the rest of
+    the chain when a batch empties (the iterator's internal re-pull
+    loops), and stopping the source once a LIMIT is satisfied.
+    """
+    for prelude in preludes:
+        yield from prelude()
+    limits = [s for s in stages if isinstance(s, fusion.LimitStage)]
+    src = source_factory()
+    while True:
+        batch = yield from pull_batch(src)
+        if batch is None:
+            return
+        survived = True
+        for stage in stages:
+            tuples = stage.cost(batch)
+            if tuples:
+                yield from ctx.cpu(tuples)
+            batch = stage.apply(batch)
+            if not batch:
+                survived = False
+                break
+        if survived:
+            yield (_BATCH, batch)
+        if limits and any(stage.finished for stage in limits):
+            return
+
+
+# ---------------------------------------------------------------------------
+# Sources: leaves (ScanOp / IndexScanOp transliterations)
+# ---------------------------------------------------------------------------
+def _scan_source(ctx: ExecContext, plan: TableScan) -> Callable:
+    base = ctx.sm.catalog.table_schema(plan.table)
+    # The hot path: predicate + projection fused into one generated
+    # whole-batch comprehension (no per-row closure calls at all).
+    fused = fusion.gen_scan_batch(plan.predicate, plan.project, base)
+    pred = proj = None
+    if fused is None:
+        pred = plan.predicate.bind(base) if plan.predicate else None
+        proj = (
+            base.projector(plan.project)
+            if plan.project is not None
+            else None
+        )
+    num_pages = ctx.sm.num_pages(plan.table)
+
+    def run():
+        # A fresh counter value stands in for the iterator op's
+        # id(self) as the circular-scan stream identity (see
+        # _next_stream on why not id()).
+        stream = _next_stream()
+        for page_no in range(num_pages):
+            page = yield from ctx.sm.read_table_page(
+                plan.table, page_no, scan=True, stream=stream
+            )
+            rows = page.rows()
+            yield from ctx.cpu(len(rows))
+            if fused is not None:
+                rows = fused(rows)
+            else:
+                if pred is not None:
+                    rows = [row for row in rows if pred(row)]
+                if proj is not None:
+                    rows = [proj(row) for row in rows]
+            if rows:
+                yield (_BATCH, rows)
+
+    return run
+
+
+def _index_source(ctx: ExecContext, plan: IndexScan) -> Callable:
+    base = ctx.sm.catalog.table_schema(plan.table)
+    info = ctx.sm.catalog.index(plan.table, plan.index)
+    key_fn = ctx.sm._key_fn(base, info.key_columns)
+    # Fused post-processing runs after the key-range filter, matching
+    # the pred-then-proj ordering below.
+    fused = fusion.gen_scan_batch(plan.predicate, plan.project, base)
+    pred = proj = None
+    if fused is None:
+        pred = plan.predicate.bind(base) if plan.predicate else None
+        proj = (
+            base.projector(plan.project)
+            if plan.project is not None
+            else None
+        )
+
+    if info.clustered:
+
+        def run():
+            stream = _next_stream()
+            sm = ctx.sm
+            page_no = yield from sm.clustered_start_page(
+                plan.table, plan.index, plan.lo
+            )
+            num_pages = sm.num_pages(plan.table)
+            while page_no < num_pages:
+                page = yield from sm.read_table_page(
+                    plan.table, page_no, scan=True, stream=stream
+                )
+                page_no += 1
+                rows = page.rows()
+                yield from ctx.cpu(len(rows))
+                if (
+                    plan.hi is not None
+                    and rows
+                    and key_fn(rows[0]) > plan.hi
+                ):
+                    return
+                if plan.lo is not None or plan.hi is not None:
+                    rows = [
+                        row
+                        for row in rows
+                        if (plan.lo is None or key_fn(row) >= plan.lo)
+                        and (plan.hi is None or key_fn(row) <= plan.hi)
+                    ]
+                if fused is not None:
+                    rows = fused(rows)
+                else:
+                    if pred is not None:
+                        rows = [row for row in rows if pred(row)]
+                    if proj is not None:
+                        rows = [proj(row) for row in rows]
+                if rows:
+                    yield (_BATCH, rows)
+                    # The iterator re-reads the page count at each batch
+                    # boundary; match it so concurrent growth behaves
+                    # identically.
+                    num_pages = sm.num_pages(plan.table)
+
+        return run
+
+    def run():
+        stream = _next_stream()
+        pairs = yield from ctx.sm.index_range(
+            plan.table, plan.index, plan.lo, plan.hi
+        )
+        rids = [rid for _key, rid in pairs]
+        if not plan.ordered:
+            rids.sort()  # ascending page number: one visit per page
+        cursor = 0
+        out: List[tuple] = []
+        while cursor < len(rids):
+            block = rids[cursor].block_no
+            page = yield from ctx.sm.read_table_page(
+                plan.table, block, scan=True, stream=stream
+            )
+            group: List[tuple] = []
+            while cursor < len(rids) and rids[cursor].block_no == block:
+                row = page.get(rids[cursor].slot)
+                if row is not None:
+                    group.append(row)
+                cursor += 1
+            yield from ctx.cpu(len(group))
+            if fused is not None:
+                group = fused(group)
+            else:
+                if pred is not None:
+                    group = [row for row in group if pred(row)]
+                if proj is not None:
+                    group = [proj(row) for row in group]
+            out.extend(group)
+            if out:
+                yield (_BATCH, out)
+                out = []
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Breakers (SortOp / joins / aggregation transliterations)
+# ---------------------------------------------------------------------------
+def _sort_source(ctx, plan: Sort, child_factory, schema) -> Callable:
+    key = schema.projector(plan.keys)
+    descending = plan.descending
+    row_width = schema.row_width
+    sort_factor = ctx.host.config.sort_cpu_factor
+
+    def sort_cost(n):
+        comparisons = n * max(1.0, math.log2(max(2, n)))
+        yield from ctx.cpu(int(comparisons), factor=sort_factor)
+
+    def spill(rows, runs):
+        yield from sort_cost(len(rows))
+        rows.sort(key=key, reverse=descending)
+        run_file = ctx.sm.create_temp_file(row_width, label="sortrun")
+        yield from ctx.sm.write_run(run_file, rows)
+        runs.append(run_file)
+
+    def run_reader(run_file):
+        for block in range(run_file.num_pages):
+            page = yield from ctx.sm.read_temp_page(run_file, block)
+            for row in page.rows():
+                yield ("row", row)
+
+    def rank(row, sign):
+        k = key(row)
+        if sign == 1:
+            return k
+        return tuple(_Neg(part) for part in k)
+
+    def merged_rows(runs):
+        sign = -1 if descending else 1
+        readers = [run_reader(run_file) for run_file in runs]
+        heads: List = []
+        for i, reader in enumerate(readers):
+            row = yield from SortOp._advance(reader)
+            if row is not None:
+                heads.append((rank(row, sign), i, row))
+        heapq.heapify(heads)
+        while heads:
+            _r, i, row = heapq.heappop(heads)
+            yield ("row", row)
+            nxt = yield from SortOp._advance(readers[i])
+            if nxt is not None:
+                heapq.heappush(heads, (rank(nxt, sign), i, nxt))
+
+    def run():
+        budget = ctx.work_mem_tuples
+        runs: List = []
+        buffer: List[tuple] = []
+        child = child_factory()
+        while True:
+            batch = yield from pull_batch(child)
+            if batch is None:
+                break
+            buffer.extend(batch)
+            if len(buffer) >= budget:
+                yield from spill(buffer, runs)
+                buffer = []
+        if not runs:
+            # In-memory path: one sort charge, the whole result as a
+            # single charge-free batch (SortOp's _sorted path).
+            yield from sort_cost(len(buffer))
+            buffer.sort(key=key, reverse=descending)
+            if buffer:
+                yield (_BATCH, buffer)
+            return
+        if buffer:
+            yield from spill(buffer, runs)
+        merge = merged_rows(runs)
+        done = False
+        while not done:
+            out: List[tuple] = []
+            while len(out) < 1024:
+                row = yield from SortOp._advance(merge)
+                if row is None:
+                    done = True
+                    for run_file in runs:
+                        ctx.sm.drop_temp_file(run_file)
+                    break
+                out.append(row)
+            if out:
+                yield from ctx.cpu(len(out))
+                yield (_BATCH, out)
+
+    return run
+
+
+def _partition(ctx, rows, key, nparts, label):
+    """HashJoinOp._partition transliteration (shared by both sides)."""
+    buckets: List[List[tuple]] = [[] for _ in range(nparts)]
+    for row in rows:
+        buckets[hash(key(row)) % nparts].append(row)
+    yield from ctx.cpu(len(rows))
+    parts = []
+    for bucket in buckets:
+        part = ctx.sm.create_temp_file(64, label=label)
+        yield from ctx.sm.write_run(part, bucket)
+        parts.append(part)
+    return parts
+
+
+def _read_part(ctx, part):
+    rows: List[tuple] = []
+    for block in range(part.num_pages):
+        page = yield from ctx.sm.read_temp_page(part, block)
+        rows.extend(page.rows())
+    return rows
+
+
+def _join_key(schema, col):
+    """Bare-column join key.  The projector's 1-tuple wrapping only
+    matters where keys reach output rows, which join keys never do;
+    a scalar groups and compares identically at C speed."""
+    return itemgetter(schema.index_of(col))
+
+
+def _hashjoin_source(
+    ctx, plan: HashJoin, left_factory, right_factory, lschema, rschema
+) -> Callable:
+    lkey = _join_key(lschema, plan.left_key)
+    rkey = _join_key(rschema, plan.right_key)
+    # Partition fan-out IS simulated behavior (it decides temp-file
+    # page counts), so the grace path hashes the same 1-tuple keys the
+    # iterator hashes; the bare-column keys above only ever feed
+    # host-side dict lookups.
+    lkey_part = lschema.projector([plan.left_key])
+    rkey_part = rschema.projector([plan.right_key])
+
+    def run():
+        budget = ctx.work_mem_tuples
+        table: Dict[Any, List[tuple]] = {}
+        count = 0
+        overflow: List[tuple] = []
+        partitioned = False
+        left = left_factory()
+        while True:
+            batch = yield from pull_batch(left)
+            if batch is None:
+                break
+            yield from ctx.cpu(len(batch))
+            count += len(batch)
+            if count > budget and not partitioned:
+                partitioned = True
+            if partitioned:
+                overflow.extend(batch)
+            else:
+                for row in batch:
+                    table.setdefault(lkey(row), []).append(row)
+        right = right_factory()
+        if not partitioned:
+            while True:
+                batch = yield from pull_batch(right)
+                if batch is None:
+                    return
+                yield from ctx.cpu(len(batch))
+                out: List[tuple] = []
+                for rrow in batch:
+                    for lrow in table.get(rkey(rrow), ()):
+                        out.append(lrow + rrow)
+                if out:
+                    yield (_BATCH, out)
+        # Grace path: spill both sides, join partition pairs in memory.
+        all_rows = [row for rows in table.values() for row in rows]
+        all_rows.extend(overflow)
+        nparts = max(
+            2, -(-len(all_rows) // max(1, ctx.work_mem_tuples // 2))
+        )
+        lparts = yield from _partition(ctx, all_rows, lkey_part, nparts, "hjL")
+        rrows: List[tuple] = []
+        while True:
+            batch = yield from pull_batch(right)
+            if batch is None:
+                break
+            rrows.extend(batch)
+        rparts = yield from _partition(ctx, rrows, rkey_part, nparts, "hjR")
+        for p in range(nparts):
+            lrows = yield from _read_part(ctx, lparts[p])
+            prows = yield from _read_part(ctx, rparts[p])
+            yield from ctx.cpu(len(lrows) + len(prows))
+            ptable: Dict[Any, List[tuple]] = {}
+            for row in lrows:
+                ptable.setdefault(lkey(row), []).append(row)
+            pending: List[tuple] = []
+            for rrow in prows:
+                for lrow in ptable.get(rkey(rrow), ()):
+                    pending.append(lrow + rrow)
+            for i in range(0, len(pending), 1024):
+                yield (_BATCH, pending[i : i + 1024])
+        for part in lparts + rparts:
+            ctx.sm.drop_temp_file(part)
+
+    return run
+
+
+def _mergejoin_source(
+    ctx, plan: MergeJoin, left_factory, right_factory, lschema, rschema
+) -> Callable:
+    lkey = _join_key(lschema, plan.left_key)
+    rkey = _join_key(rschema, plan.right_key)
+
+    def run():
+        gens = {"l": left_factory(), "r": right_factory()}
+        bufs: Dict[str, List[tuple]] = {"l": [], "r": []}
+        ends = {"l": False, "r": False}
+
+        def fill(side):
+            buf = bufs[side]
+            while not buf and not ends[side]:
+                batch = yield from pull_batch(gens[side])
+                if batch is None:
+                    ends[side] = True
+                else:
+                    buf.extend(batch)
+
+        def take_group(side, key, value):
+            buf = bufs[side]
+            group: List[tuple] = []
+            while True:
+                while buf and key(buf[0]) == value:
+                    group.append(buf.pop(0))
+                if buf or ends[side]:
+                    return group
+                yield from fill(side)
+                if not buf:
+                    return group
+
+        while True:
+            yield from fill("l")
+            yield from fill("r")
+            lbuf, rbuf = bufs["l"], bufs["r"]
+            if (ends["l"] and not lbuf) or (ends["r"] and not rbuf):
+                return
+            lk = lkey(lbuf[0])
+            rk = rkey(rbuf[0])
+            if lk < rk:
+                lbuf.pop(0)
+            elif rk < lk:
+                rbuf.pop(0)
+            else:
+                lgroup = yield from take_group("l", lkey, lk)
+                rgroup = yield from take_group("r", rkey, rk)
+                yield from ctx.cpu(len(lgroup) * len(rgroup))
+                out: List[tuple] = []
+                for lrow in lgroup:
+                    for rrow in rgroup:
+                        out.append(lrow + rrow)
+                if out:
+                    yield (_BATCH, out)
+
+    return run
+
+
+def _nljoin_source(
+    ctx, plan: NLJoin, left_factory, right_factory, out_schema, right_width
+) -> Callable:
+    pred = fusion.gen_row_fn(plan.predicate, out_schema)
+    if pred is None:
+        pred = plan.predicate.bind(out_schema)
+
+    def run():
+        right = right_factory()
+        rrows: List[tuple] = []
+        while True:
+            batch = yield from pull_batch(right)
+            if batch is None:
+                break
+            rrows.extend(batch)
+        mat = ctx.sm.create_temp_file(right_width, label="nlj")
+        yield from ctx.sm.write_run(mat, rrows)
+        left = left_factory()
+        while True:
+            batch = yield from pull_batch(left)
+            if batch is None:
+                ctx.sm.drop_temp_file(mat)
+                return
+            out: List[tuple] = []
+            for block in range(mat.num_pages):
+                page = yield from ctx.sm.read_temp_page(mat, block)
+                prows = page.rows()
+                yield from ctx.cpu(len(batch) * len(prows))
+                for lrow in batch:
+                    for rrow in prows:
+                        joined = lrow + rrow
+                        if pred(joined):
+                            out.append(joined)
+            if out:
+                yield (_BATCH, out)
+
+    return run
+
+
+def _bind_agg_fns(aggs, schema):
+    """bind_aggregates, with plain column references specialised to
+    ``operator.itemgetter`` (same value, C-speed under ``map``) and
+    richer expressions to one generated closure (same operators applied
+    in the same order as the bound tree, so identical values)."""
+    specs, fns = bind_aggregates(aggs, schema)
+    fast = []
+    for spec, fn in zip(specs, fns):
+        if type(spec.expr) is Col:
+            fast.append(itemgetter(schema.index_of(spec.expr.name)))
+            continue
+        gen = (
+            fusion.gen_row_fn(spec.expr, schema)
+            if spec.expr is not None
+            else None
+        )
+        fast.append(gen if gen is not None else fn)
+    return specs, fast
+
+
+def _batch_updaters(specs, fns):
+    """One ``update(state, batch)`` closure per aggregate, equal bit for
+    bit to the per-row ``AggState.add`` loop the iterator runs.
+
+    The float-sensitive case is sum/avg: ``sum(it, start)`` performs the
+    exact left fold ``for v in it: start += v`` performs, so running
+    totals round identically; count is integer arithmetic and min/max
+    are exact comparisons (``min``/``max`` keep the first extremum, like
+    the per-row compare).  Only the dispatch moves from per-row Python
+    to per-batch C.
+    """
+    updaters = []
+    for spec, fn in zip(specs, fns):
+        func = spec.func
+        if func == "count":
+            def update(state, batch, fn=fn):
+                state.count += len(batch)
+        elif func in ("sum", "avg"):
+            def update(state, batch, fn=fn):
+                state.count += len(batch)
+                state.total = sum(map(fn, batch), state.total)
+        elif func == "min":
+            def update(state, batch, fn=fn):
+                state.count += len(batch)
+                low = min(map(fn, batch))
+                if state.best is None or low < state.best:
+                    state.best = low
+        elif func == "max":
+            def update(state, batch, fn=fn):
+                state.count += len(batch)
+                high = max(map(fn, batch))
+                if state.best is None or high > state.best:
+                    state.best = high
+        else:  # unknown func: fall back to the reference per-row path
+            def update(state, batch, fn=fn):
+                for row in batch:
+                    state.add(fn(row))
+        updaters.append(update)
+    return updaters
+
+
+def _aggregate_source(ctx, plan: Aggregate, child_factory, in_schema) -> Callable:
+    specs, fns = _bind_agg_fns(plan.aggs, in_schema)
+    updaters = _batch_updaters(specs, fns)
+
+    def run():
+        states = [spec.make_state() for spec in specs]
+        child = child_factory()
+        while True:
+            batch = yield from pull_batch(child)
+            if batch is None:
+                break
+            yield from ctx.cpu(len(batch) * len(states))
+            if batch:
+                for state, update in zip(states, updaters):
+                    update(state, batch)
+        yield (_BATCH, [tuple(state.result() for state in states)])
+
+    return run
+
+
+def _groupby_source(ctx, plan: GroupBy, child_factory, in_schema) -> Callable:
+    specs, fns = _bind_agg_fns(plan.aggs, in_schema)
+    updaters = _batch_updaters(specs, fns)
+    # Group keys reach the output rows, so they stay tuples -- but they
+    # are computed per batch in one generated comprehension instead of
+    # one projector call per row.
+    group_batch = fusion.gen_scan_batch(None, plan.group_cols, in_schema)
+
+    def run():
+        groups: Dict[tuple, list] = {}
+        child = child_factory()
+        while True:
+            batch = yield from pull_batch(child)
+            if batch is None:
+                break
+            yield from ctx.cpu(len(batch) * max(1, len(specs)))
+            # Split the batch by group key (rows keep encounter order,
+            # so each state sees the same value sequence as the
+            # iterator's per-row loop), then update per group at batch
+            # granularity.
+            grouped: Dict[tuple, list] = {}
+            for key, row in zip(group_batch(batch), batch):
+                rows = grouped.get(key)
+                if rows is None:
+                    grouped[key] = [row]
+                else:
+                    rows.append(row)
+            for key, rows in grouped.items():
+                states = groups.get(key)
+                if states is None:
+                    states = [spec.make_state() for spec in specs]
+                    groups[key] = states
+                for state, update in zip(states, updaters):
+                    update(state, rows)
+        result = [
+            key + tuple(state.result() for state in states)
+            for key, states in sorted(groups.items())
+        ]
+        for i in range(0, len(result), 1024):
+            yield (_BATCH, result[i : i + 1024])
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Probe-side builds (preludes fused into the left pipeline)
+# ---------------------------------------------------------------------------
+def _semi_build(ctx, right_factory, rkey, stage: fusion.SemiProbeStage):
+    def build():
+        keys = stage.keys
+        right = right_factory()
+        while True:
+            batch = yield from pull_batch(right)
+            if batch is None:
+                return
+            yield from ctx.cpu(len(batch))
+            for row in batch:
+                keys.add(rkey(row))
+
+    return build
+
+
+def _outer_build(ctx, right_factory, rkey, stage: fusion.OuterProbeStage):
+    def build():
+        table = stage.table
+        right = right_factory()
+        while True:
+            batch = yield from pull_batch(right)
+            if batch is None:
+                return
+            yield from ctx.cpu(len(batch))
+            for row in batch:
+                table.setdefault(rkey(row), []).append(row)
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# DML sources (InsertOp / UpdateOp / DeleteOp transliterations)
+# ---------------------------------------------------------------------------
+def _insert_source(ctx, plan: InsertRows) -> Callable:
+    def run():
+        owner = ctx.owner or _next_stream()
+        yield ctx.sm.locks.acquire(owner, plan.table, LockMode.EXCLUSIVE)
+        try:
+            for row in plan.rows:
+                yield from ctx.sm.insert_row(plan.table, row)
+        finally:
+            ctx.sm.locks.release(owner, plan.table)
+        yield (_BATCH, [(len(plan.rows),)])
+
+    return run
+
+
+def _update_source(ctx, plan: UpdateRows) -> Callable:
+    def run():
+        owner = ctx.owner or _next_stream()
+        table = plan.table
+        schema = ctx.sm.catalog.table_schema(table)
+        pred = plan.predicate.bind(schema) if plan.predicate else None
+        yield ctx.sm.locks.acquire(owner, table, LockMode.EXCLUSIVE)
+        changed = 0
+        try:
+            info = ctx.sm.catalog.table(table)
+            for block in range(info.num_pages):
+                page = yield from ctx.sm.read_table_page(table, block)
+                for slot, row in list(page.items()):
+                    if pred is None or pred(row):
+                        yield from ctx.sm.update_row(
+                            table, RID(block, slot), plan.apply(row)
+                        )
+                        changed += 1
+        finally:
+            ctx.sm.locks.release(owner, table)
+        yield (_BATCH, [(changed,)])
+
+    return run
+
+
+def _delete_source(ctx, plan: DeleteRows) -> Callable:
+    def run():
+        owner = ctx.owner or _next_stream()
+        table = plan.table
+        schema = ctx.sm.catalog.table_schema(table)
+        pred = plan.predicate.bind(schema) if plan.predicate else None
+        yield ctx.sm.locks.acquire(owner, table, LockMode.EXCLUSIVE)
+        removed = 0
+        try:
+            info = ctx.sm.catalog.table(table)
+            for block in range(info.num_pages):
+                page = yield from ctx.sm.read_table_page(table, block)
+                for slot, row in list(page.items()):
+                    if pred is None or pred(row):
+                        yield from ctx.sm.delete_row(table, RID(block, slot))
+                        removed += 1
+        finally:
+            ctx.sm.locks.release(owner, table)
+        yield (_BATCH, [(removed,)])
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+def compile_plan(
+    plan: PlanNode, ctx: ExecContext, choices: Optional[dict] = None
+) -> Pipeline:
+    """Compile *plan* into a tree of pipelines rooted at one Pipeline.
+
+    *choices* maps plan nodes to the planner's
+    :class:`~repro.sql.planner.PipelineChoice` decisions; absent
+    entries default to fused compilation.
+    """
+    if choices is None:
+        choices = {}
+    return _compile(plan, ctx, choices)
+
+
+def _fuse_choice(plan, choices) -> bool:
+    choice = choices.get(plan)
+    return True if choice is None else choice.fuse
+
+
+def _compile(plan: PlanNode, ctx: ExecContext, choices: dict) -> Pipeline:
+    catalog = ctx.sm.catalog
+    schema = plan.output_schema(catalog)
+
+    if isinstance(plan, TableScan):
+        return Pipeline(ctx, _scan_source(ctx, plan), [], [], schema)
+    if isinstance(plan, IndexScan):
+        return Pipeline(ctx, _index_source(ctx, plan), [], [], schema)
+
+    if isinstance(plan, (Filter, Project, Limit, Distinct)):
+        child = _compile(plan.child, ctx, choices)
+        stage = fusion.build_stage(
+            plan, child.schema, fuse=_fuse_choice(plan, choices)
+        )
+        return Pipeline(
+            ctx,
+            child.source_factory,
+            child.stages + [stage],
+            child.preludes,
+            schema,
+        )
+
+    if isinstance(plan, Sort):
+        child = _compile(plan.child, ctx, choices)
+        source = _sort_source(ctx, plan, child.generator, child.schema)
+        return Pipeline(ctx, source, [], [], schema)
+    if isinstance(plan, Aggregate):
+        child = _compile(plan.child, ctx, choices)
+        source = _aggregate_source(ctx, plan, child.generator, child.schema)
+        return Pipeline(ctx, source, [], [], schema)
+    if isinstance(plan, GroupBy):
+        child = _compile(plan.child, ctx, choices)
+        source = _groupby_source(ctx, plan, child.generator, child.schema)
+        return Pipeline(ctx, source, [], [], schema)
+
+    if isinstance(plan, HashJoin):
+        left = _compile(plan.left, ctx, choices)
+        right = _compile(plan.right, ctx, choices)
+        source = _hashjoin_source(
+            ctx, plan, left.generator, right.generator,
+            left.schema, right.schema,
+        )
+        return Pipeline(ctx, source, [], [], schema)
+    if isinstance(plan, MergeJoin):
+        left = _compile(plan.left, ctx, choices)
+        right = _compile(plan.right, ctx, choices)
+        source = _mergejoin_source(
+            ctx, plan, left.generator, right.generator,
+            left.schema, right.schema,
+        )
+        return Pipeline(ctx, source, [], [], schema)
+    if isinstance(plan, NLJoin):
+        left = _compile(plan.left, ctx, choices)
+        right = _compile(plan.right, ctx, choices)
+        source = _nljoin_source(
+            ctx, plan, left.generator, right.generator,
+            schema, right.schema.row_width,
+        )
+        return Pipeline(ctx, source, [], [], schema)
+
+    if isinstance(plan, (SemiJoin, AntiJoin)):
+        left = _compile(plan.left, ctx, choices)
+        right = _compile(plan.right, ctx, choices)
+        lkey = _join_key(left.schema, plan.left_key)
+        rkey = _join_key(right.schema, plan.right_key)
+        stage = fusion.SemiProbeStage(lkey, anti=isinstance(plan, AntiJoin))
+        build = _semi_build(ctx, right.generator, rkey, stage)
+        # The iterator builds the key set at the *root's* first pull,
+        # before anything below the left input runs: outer preludes
+        # precede inner ones.
+        return Pipeline(
+            ctx,
+            left.source_factory,
+            left.stages + [stage],
+            [build] + left.preludes,
+            schema,
+        )
+    if isinstance(plan, LeftOuterJoin):
+        left = _compile(plan.left, ctx, choices)
+        right = _compile(plan.right, ctx, choices)
+        lkey = _join_key(left.schema, plan.left_key)
+        rkey = _join_key(right.schema, plan.right_key)
+        stage = fusion.OuterProbeStage(lkey, len(right.schema))
+        build = _outer_build(ctx, right.generator, rkey, stage)
+        return Pipeline(
+            ctx,
+            left.source_factory,
+            left.stages + [stage],
+            [build] + left.preludes,
+            schema,
+        )
+
+    if isinstance(plan, InsertRows):
+        return Pipeline(ctx, _insert_source(ctx, plan), [], [], schema)
+    if isinstance(plan, UpdateRows):
+        return Pipeline(ctx, _update_source(ctx, plan), [], [], schema)
+    if isinstance(plan, DeleteRows):
+        return Pipeline(ctx, _delete_source(ctx, plan), [], [], schema)
+
+    raise TypeError(f"no push pipeline for {type(plan).__name__}")

@@ -15,6 +15,7 @@ A deliberately simple, predictable planner:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.relational.expressions import (
@@ -39,9 +40,11 @@ from repro.relational.plans import (
     Filter,
     GroupBy,
     HashJoin,
+    IndexScan,
     InsertRows,
     LeftOuterJoin,
     Limit,
+    MergeJoin,
     NLJoin,
     PlanNode,
     Project,
@@ -650,3 +653,172 @@ def plan(sql: str, catalog) -> PlanNode:
     if isinstance(stmt, (InsertStmt, UpdateStmt, DeleteStmt)):
         return _plan_dml(stmt, catalog)
     return _Planner(catalog).plan(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline cost rule (the push backend's planner hook)
+# ---------------------------------------------------------------------------
+#: Below this many estimated input rows a streaming chain is interpreted
+#: instead of compiled: binding expressions into specialised closures has
+#: a fixed per-query setup cost that tiny inputs never amortise
+#: (Shaikhha et al.; Deshmukh et al.'s pipeline-vs-materialize rule).
+FUSE_MIN_ROWS = 64
+
+#: Fallback selectivity for predicate shapes the estimator cannot grade.
+_DEFAULT_SELECTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class PipelineChoice:
+    """One per-node decision from :func:`plan_pipelines`.
+
+    ``fuse`` selects specialised bound closures over per-row expression
+    interpretation for streaming stages; ``materialize`` predicts that a
+    sort/hash-join input exceeds work memory and will take the external
+    (spilling) path.  Both only steer host-side compilation -- runtime
+    guards on actual row counts keep simulated behaviour identical when
+    the estimate is wrong.
+    """
+
+    op: str
+    input_rows: int
+    fuse: bool
+    materialize: bool
+    reason: str
+
+
+def _expr_selectivity(expr) -> float:
+    """Deterministic textbook selectivity constants, no data peeking."""
+    if isinstance(expr, Cmp):
+        if expr.op == "==":
+            return 0.1
+        if expr.op == "!=":
+            return 0.9
+        return 1 / 3
+    if isinstance(expr, And):
+        sel = 1.0
+        for term in expr.terms:
+            sel *= _expr_selectivity(term)
+        return sel
+    if isinstance(expr, Or):
+        return min(1.0, sum(_expr_selectivity(t) for t in expr.terms))
+    if isinstance(expr, Not):
+        return max(0.0, 1.0 - _expr_selectivity(expr.term))
+    if isinstance(expr, Between):
+        return 0.25
+    if isinstance(expr, InList):
+        return min(1.0, 0.1 * len(expr.values))
+    if isinstance(expr, Like):
+        return 0.25
+    return _DEFAULT_SELECTIVITY
+
+
+def estimate_rows(plan_node: PlanNode, catalog) -> int:
+    """Estimated output cardinality of *plan_node*, from catalog row
+    counts and the selectivity constants above."""
+    node = plan_node
+    if isinstance(node, TableScan):
+        rows = catalog.table(node.table).num_rows
+        if node.predicate is not None:
+            rows *= _expr_selectivity(node.predicate)
+        return max(0, int(rows))
+    if isinstance(node, IndexScan):
+        rows = catalog.table(node.table).num_rows
+        if node.lo is not None and node.lo == node.hi:
+            rows *= 0.1  # point lookup band
+        else:
+            rows *= 0.25  # range band
+        if node.predicate is not None:
+            rows *= _expr_selectivity(node.predicate)
+        return max(0, int(rows))
+    if isinstance(node, Filter):
+        child = estimate_rows(node.child, catalog)
+        return max(0, int(child * _expr_selectivity(node.predicate)))
+    if isinstance(node, (Project, Sort)):
+        return estimate_rows(node.child, catalog)
+    if isinstance(node, Limit):
+        return min(estimate_rows(node.child, catalog), node.count)
+    if isinstance(node, Distinct):
+        return max(0, estimate_rows(node.child, catalog) // 2)
+    if isinstance(node, Aggregate):
+        return 1
+    if isinstance(node, GroupBy):
+        return min(estimate_rows(node.child, catalog), 128)
+    if isinstance(node, (HashJoin, MergeJoin, LeftOuterJoin)):
+        # Foreign-key heuristic: an equi-join rarely multiplies.
+        return max(
+            estimate_rows(node.left, catalog),
+            estimate_rows(node.right, catalog),
+        )
+    if isinstance(node, (SemiJoin, AntiJoin)):
+        return max(0, estimate_rows(node.left, catalog) // 2)
+    if isinstance(node, NLJoin):
+        cross = estimate_rows(node.left, catalog) * estimate_rows(
+            node.right, catalog
+        )
+        return max(0, int(cross * _expr_selectivity(node.predicate)))
+    if isinstance(node, (InsertRows, UpdateRows, DeleteRows)):
+        return 1
+    return 0
+
+
+def plan_pipelines(
+    plan_node: PlanNode, catalog, work_mem_tuples: int = 50_000
+) -> Dict[PlanNode, PipelineChoice]:
+    """Decide fuse-vs-interpret and in-memory-vs-materialize per node.
+
+    Returns a mapping from plan node to :class:`PipelineChoice`, keyed
+    by node identity, covering every streaming stage (filter, project,
+    limit, distinct) and every memory-sensitive breaker (sort, hash
+    join).  The push compiler reads ``fuse``; ``materialize`` is the
+    recorded spill prediction the docs and tests inspect.
+    """
+    choices: Dict[PlanNode, PipelineChoice] = {}
+
+    def visit(node: PlanNode) -> None:
+        if isinstance(node, (Filter, Project, Limit, Distinct)):
+            input_rows = estimate_rows(node.child, catalog)
+            fuse = input_rows >= FUSE_MIN_ROWS
+            choices[node] = PipelineChoice(
+                op=node.op_name,
+                input_rows=input_rows,
+                fuse=fuse,
+                materialize=False,
+                reason=(
+                    f"~{input_rows} input rows "
+                    f"{'>=' if fuse else '<'} {FUSE_MIN_ROWS}: "
+                    f"{'fuse closures' if fuse else 'interpret'}"
+                ),
+            )
+        elif isinstance(node, Sort):
+            input_rows = estimate_rows(node.child, catalog)
+            materialize = input_rows > work_mem_tuples
+            choices[node] = PipelineChoice(
+                op=node.op_name,
+                input_rows=input_rows,
+                fuse=True,
+                materialize=materialize,
+                reason=(
+                    f"~{input_rows} rows vs {work_mem_tuples} work mem: "
+                    f"{'external runs' if materialize else 'in-memory sort'}"
+                ),
+            )
+        elif isinstance(node, HashJoin):
+            input_rows = estimate_rows(node.left, catalog)
+            materialize = input_rows > work_mem_tuples
+            choices[node] = PipelineChoice(
+                op=node.op_name,
+                input_rows=input_rows,
+                fuse=True,
+                materialize=materialize,
+                reason=(
+                    f"~{input_rows} build rows vs {work_mem_tuples} "
+                    f"work mem: "
+                    f"{'grace partitions' if materialize else 'in-memory build'}"
+                ),
+            )
+        for child in node.children:
+            visit(child)
+
+    visit(plan_node)
+    return choices

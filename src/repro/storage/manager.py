@@ -12,6 +12,7 @@ Everything engines need from storage goes through here:
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.hw.host import Host
@@ -22,6 +23,9 @@ from repro.storage.catalog import Catalog, IndexInfo, TableInfo
 from repro.storage.file import BlockStore, HeapFile
 from repro.storage.locks import LockManager
 from repro.storage.page import RID, Page, rows_per_page
+
+#: Sort key for (key, rid) pairs: the key alone (see _build_index).
+_pair_key = itemgetter(0)
 
 
 class StorageManager:
@@ -131,10 +135,20 @@ class StorageManager:
 
     def _build_index(self, info: TableInfo, index: IndexInfo) -> None:
         key = self._key_fn(info.schema, index.key_columns)
-        pairs = sorted(
-            ((key(row), rid) for rid, row in info.heap.rids_and_rows()),
-            key=lambda kv: (kv[0], kv[1]),
-        )
+        # Page-wise pair building (no per-row generator resume), then a
+        # stable sort on the key alone: the heap iterates in ascending
+        # RID order, so ties keep that order -- the same key-then-RID
+        # ordering as sorting full (key, rid) tuples, without any of the
+        # RID.__lt__ tie-break calls (index builds dominate bulk-load
+        # host time).
+        heap = info.heap
+        pairs: List[Tuple[Any, RID]] = []
+        for block_no in range(heap.num_pages):
+            pairs += [
+                (key(row), RID(block_no, slot))
+                for slot, row in heap.page(block_no).items()
+            ]
+        pairs.sort(key=_pair_key)
         if index.tree.num_keys:
             # Rebuild from scratch (load after create_index).
             index.tree = BPlusTree(self.store, index.name, self.index_order)
@@ -143,11 +157,10 @@ class StorageManager:
 
     @staticmethod
     def _key_fn(schema: Schema, columns: Sequence[str]):
+        # itemgetter matches the old lambdas value for value: one index
+        # yields the bare column, several yield the tuple.
         idxs = [schema.index_of(c) for c in columns]
-        if len(idxs) == 1:
-            only = idxs[0]
-            return lambda row: row[only]
-        return lambda row: tuple(row[i] for i in idxs)
+        return itemgetter(*idxs)
 
     # ------------------------------------------------------------------
     # Timed reads

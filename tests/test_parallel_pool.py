@@ -268,3 +268,45 @@ def test_tracing_bypasses_cache_reads(tmp_path):
     assert traced.stats.cache_hits == 0 and traced.stats.executed == 1
     assert not results[spec].cached
     assert results[spec].traces == []  # no simulated hosts in ok_cell
+
+
+# ---------------------------------------------------------------------------
+# Worker-count clamping (the macro.fig12_smoke_par4 1-core regression)
+# ---------------------------------------------------------------------------
+def test_jobs_clamped_to_cpu_count(monkeypatch):
+    """Real pools never run more workers than cores: on a 1-core
+    machine ``--jobs 4`` must behave like ``--jobs 1`` (serial
+    in-process) instead of paying four spawn startups for strictly
+    serial execution."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    runner = PoolRunner(jobs=4)
+    assert runner.jobs == 1
+    # jobs == 1 takes the serial in-process path: verify it end to end.
+    results = runner.run([ok_spec(5)])
+    assert list(results.values())[0].payload == 6
+    runner.close()
+
+
+def test_jobs_zero_still_means_one_per_cpu(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    import repro.parallel.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 3)
+    runner = PoolRunner(jobs=0)
+    assert runner.jobs == 3
+    runner.close()
+
+
+def test_fake_executors_keep_the_requested_worker_count(monkeypatch):
+    """Injected executor factories script crash scenarios at a given
+    worker count; the machine's core count must not reroute them to the
+    serial path."""
+    import repro.parallel.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+    factory = Factory()
+    with PoolRunner(jobs=2, executor_factory=factory) as runner:
+        results = runner.run([ok_spec(1), ok_spec(2)])
+    assert runner.jobs == 2
+    assert factory.executors  # the fake pool actually ran
+    assert {r.payload for r in results.values()} == {2, 3}
