@@ -41,7 +41,12 @@ class IteratorEngine:
     def sim(self):
         return self.sm.sim
 
-    def execute(self, plan: PlanNode, query_id: Optional[int] = None) -> Generator:
+    def execute(
+        self,
+        plan: PlanNode,
+        query_id: Optional[int] = None,
+        lineage=None,
+    ) -> Generator:
         """Coroutine: run *plan* to completion; returns a QueryResult."""
         if query_id is None:
             self._next_query_id += 1
@@ -52,6 +57,7 @@ class IteratorEngine:
             host=self.host,
             work_mem_tuples=self.work_mem_tuples,
             owner=("q", self.name, query_id),
+            lineage=lineage,
         )
         root = build_operator(plan, ctx)
         started = self.sim.now
@@ -61,6 +67,8 @@ class IteratorEngine:
             if batch is None:
                 break
             rows.extend(batch)
+            if lineage is not None:
+                yield from lineage.on_root_batch(batch)
         return QueryResult(
             query_id=query_id,
             rows=rows,

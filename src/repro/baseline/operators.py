@@ -55,11 +55,28 @@ class ExecContext:
     work_mem_tuples: int = 50_000
     #: Query identity, used as the lock owner for updates.
     owner: Any = None
+    #: Optional :class:`~repro.lineage.tracker.LineageTracker`; scan
+    #: operators report delivered pages through it (None: no recording).
+    lineage: Any = None
+    #: Live temp files (spill runs, hash partitions) this query created
+    #: and has not yet dropped; the engine's fault teardown sweeps them.
+    temp_files: List[Any] = field(default_factory=list)
 
     def cpu(self, tuples: int, factor: float = 1.0) -> Generator:
         """Coroutine: charge CPU for processing *tuples* tuples."""
         cost = tuples * self.host.config.cpu_per_tuple * factor
         yield from self.host.cpu.burst(cost)
+
+    def track_temp(self, temp) -> Any:
+        """Register a freshly created temp file for fault-path cleanup."""
+        self.temp_files.append(temp)
+        return temp
+
+    def drop_temp(self, temp) -> None:
+        """Drop a temp file and unregister it (normal-path cleanup)."""
+        if temp in self.temp_files:
+            self.temp_files.remove(temp)
+        self.sm.drop_temp_file(temp)
 
 
 class Operator:
@@ -95,24 +112,37 @@ class ScanOp(Operator):
         self._proj = (
             base.projector(plan.project) if plan.project is not None else None
         )
-        self._next_page = 0
         self._num_pages = ctx.sm.num_pages(plan.table)
+        # Recovery resume: visit exactly the unconsumed page suffix in
+        # wrapped order; a fresh scan visits every page from 0.
+        if plan.resume is None:
+            self._start_page = 0
+            self._pages_left = self._num_pages
+        else:
+            self._start_page, self._pages_left = plan.resume
+        self._visited = 0
         # Constant for the op's lifetime, like id(self) was -- but never
         # reused by a later scan (see repro.storage.streams).
         self._stream = next_stream()
 
     def next_batch(self):
-        while self._next_page < self._num_pages:
+        while self._visited < self._pages_left:
+            block = (self._start_page + self._visited) % self._num_pages
             page = yield from self.ctx.sm.read_table_page(
-                self.table, self._next_page, scan=True, stream=self._stream
+                self.table, block, scan=True, stream=self._stream
             )
-            self._next_page += 1
+            self._visited += 1
             rows = page.rows()
             yield from self.ctx.cpu(len(rows))
             if self._pred is not None:
                 rows = [row for row in rows if self._pred(row)]
             if self._proj is not None:
                 rows = [self._proj(row) for row in rows]
+            if self.ctx.lineage is not None:
+                self.ctx.lineage.scan_page(
+                    self._stream, self.table, block, len(rows),
+                    self._num_pages,
+                )
             if rows:
                 return rows
         return None
@@ -804,10 +834,17 @@ class AggregateOp(Operator):
         self.specs, self._fns = bind_aggregates(plan.aggs, child.schema)
         self._done = False
 
+    #: Consumed input batches between lineage checkpoints of the
+    #: accumulator state (one batch per non-empty scan page upstream).
+    CHECKPOINT_EVERY = 8
+
     def next_batch(self):
         if self._done:
             return None
         states = [spec.make_state() for spec in self.specs]
+        lineage = self.ctx.lineage
+        consumed = 0
+        batches = 0
         while True:
             batch = yield from self.child.next_batch()
             if batch is None:
@@ -816,6 +853,13 @@ class AggregateOp(Operator):
             for row in batch:
                 for state, fn in zip(states, self._fns):
                     state.add(fn(row))
+            consumed += len(batch)
+            batches += 1
+            if lineage is not None and batches % self.CHECKPOINT_EVERY == 0:
+                yield from lineage.checkpoint(
+                    consumed,
+                    [(s.count, s.total, s.best) for s in states],
+                )
         self._done = True
         return [tuple(state.result() for state in states)]
 

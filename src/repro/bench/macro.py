@@ -109,6 +109,19 @@ def fig12_smoke_par4() -> None:
     _run_parallel(fig12_cells(SMOKE, client_counts=FIG12_CLIENTS))
 
 
+def recovery_smoke() -> None:
+    """All crash-recovery scenarios at smoke scale, fault seed 1.
+
+    Each scenario runs a fault-free reference plus a crashed-and-
+    recovered run, so this tracks the lineage/recovery path's end-to-end
+    cost (log appends, WAL flushes, frontier replay) over time.
+    """
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import recovery
+
+    recovery(SMOKE, fault_seed=1)
+
+
 def suite() -> List[Bench]:
     return [
         Bench("macro.fig8_smoke", fig8_smoke, "s"),
@@ -117,4 +130,5 @@ def suite() -> List[Bench]:
         Bench("macro.fig12_smoke_par4", fig12_smoke_par4, "s"),
         Bench("macro.fig8_pushed", fig8_pushed, "s"),
         Bench("macro.fig12_pushed", fig12_pushed, "s"),
+        Bench("macro.recovery_smoke", recovery_smoke, "s"),
     ]

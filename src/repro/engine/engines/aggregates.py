@@ -20,6 +20,10 @@ from repro.relational.expressions import bind_aggregates
 
 OUT_BATCH = 1024
 
+#: How many consumed input batches between lineage checkpoints of the
+#: accumulator state (one batch per delivered scan page upstream).
+CHECKPOINT_EVERY = 8
+
 
 class AggEngine(MicroEngine):
     overlap_class = "full"
@@ -31,6 +35,9 @@ class AggEngine(MicroEngine):
         specs, fns = bind_aggregates(plan.aggs, child_schema)
         states = [spec.make_state() for spec in specs]
         source = packet.inputs[0]
+        lineage = query.lineage
+        consumed = 0
+        batches = 0
 
         packet.phase = "aggregate"
         while True:
@@ -43,6 +50,16 @@ class AggEngine(MicroEngine):
             for row in batch:
                 for state, fn in zip(states, fns):
                     state.add(fn(row))
+            consumed += len(batch)
+            batches += 1
+            if lineage is not None and batches % CHECKPOINT_EVERY == 0:
+                # Write-ahead checkpoint: accumulator snapshot at an
+                # input frontier; recovery replays only the unconsumed
+                # page suffix into the restored states.
+                yield from lineage.checkpoint(
+                    consumed,
+                    [(s.count, s.total, s.best) for s in states],
+                )
         packet.phase = "emit"
         yield from packet.output.put(
             [tuple(state.result() for state in states)]

@@ -53,6 +53,7 @@ class FScanEngine(MicroEngine):
             self.engine.osp_enabled
             and not packet.plan.ordered
             and not packet.no_share
+            and packet.plan.resume is None
         ):
             attached = yield from self.circular.serve(packet)
             if attached:
@@ -70,9 +71,18 @@ class FScanEngine(MicroEngine):
         )
         # Section 4.3.4: a scan waits while the table is locked for writing.
         owner = ("scan", packet.query.query_id, packet.packet_id)
+        num_pages = sm.num_pages(plan.table)
+        if plan.resume is None:
+            pages = range(num_pages)
+        else:
+            # Recovery: replay exactly the unconsumed suffix, continuing
+            # the wrapped page order the crashed consumer was seeing.
+            start, count = plan.resume
+            pages = ((start + i) % num_pages for i in range(count))
+        lineage = packet.query.lineage
         yield sm.locks.acquire(owner, plan.table, LockMode.SHARED)
         try:
-            for block in range(sm.num_pages(plan.table)):
+            for block in pages:
                 page = yield from sm.read_table_page(
                     plan.table, block, scan=True, stream=packet.stream
                 )
@@ -82,6 +92,13 @@ class FScanEngine(MicroEngine):
                     rows = [row for row in rows if pred(row)]
                 if proj is not None:
                     rows = [proj(row) for row in rows]
+                if lineage is not None:
+                    # Before put(): the page entry must exist by the time
+                    # the root sees the batch and computes its frontier.
+                    lineage.scan_page(
+                        packet.stream, plan.table, block, len(rows),
+                        num_pages,
+                    )
                 if rows:
                     yield from packet.output.put(rows)
         finally:

@@ -53,6 +53,9 @@ class QueryContext:
     deadline: Optional[float] = None
     #: Set when execute() returns/raises; stops the deadline watchdog.
     finished: bool = False
+    #: Optional :class:`~repro.lineage.tracker.LineageTracker`; scan
+    #: operators report delivered pages through it (None: no recording).
+    lineage: Any = None
 
     def cpu(self, tuples: int, factor: float = 1.0) -> Generator:
         """Coroutine: charge CPU for processing *tuples* tuples."""

@@ -122,6 +122,7 @@ class QPipeEngine:
         plan: PlanNode,
         query_id: Optional[int] = None,
         deadline: Optional[float] = None,
+        lineage=None,
     ) -> Generator:
         """Coroutine: run *plan* to completion; returns a QueryResult.
 
@@ -140,6 +141,8 @@ class QPipeEngine:
             # Section 2.3 / Figure 2: a result-cache hit "returns the
             # stored results and avoids execution altogether".
             self.queries_completed += 1
+            if lineage is not None:
+                yield from lineage.on_root_batch(cached)
             return QueryResult(
                 query_id=query_id,
                 rows=cached,
@@ -156,6 +159,7 @@ class QPipeEngine:
             submitted_at=self.sim.now,
             engine=self,
             deadline=deadline,
+            lineage=lineage,
         )
         self.active_queries += 1
         self._active[query_id] = query
@@ -174,6 +178,8 @@ class QPipeEngine:
                 if batch is SEGMENT_BOUNDARY:
                     continue
                 rows.extend(batch)
+                if lineage is not None:
+                    yield from lineage.on_root_batch(batch)
         except BaseException as exc:
             if not query.aborted:
                 if isinstance(exc, Interrupted):

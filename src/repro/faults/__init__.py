@@ -9,19 +9,28 @@ against a live engine by :class:`FaultInjector`; everything downstream
 from repro.faults.errors import (
     DiskReadError,
     FaultError,
+    LogWriteError,
     PageCorruptError,
     QueryAborted,
 )
 from repro.faults.injector import FaultAction, FaultInjector
-from repro.faults.plan import DiskFault, FaultPlan, ProcessFault, random_plan
+from repro.faults.plan import (
+    DiskFault,
+    FaultPlan,
+    LogFault,
+    ProcessFault,
+    random_plan,
+)
 
 __all__ = [
     "DiskFault",
     "DiskReadError",
     "FaultAction",
     "FaultError",
-    "FaultInjector",
     "FaultPlan",
+    "FaultInjector",
+    "LogFault",
+    "LogWriteError",
     "PageCorruptError",
     "ProcessFault",
     "QueryAborted",

@@ -49,6 +49,23 @@ class PageCorruptError(FaultError):
         )
 
 
+class LogWriteError(FaultError):
+    """A lineage-log flush failed at the log device.
+
+    Recovery treats the log as best-effort: a write failure disables
+    further lineage recording for the query (degrading a later crash to
+    a clean restart) but never fails the query itself.
+    """
+
+    def __init__(self, query_id: int, transient: bool = True):
+        self.query_id = query_id
+        self.transient = transient
+        flavor = "transient" if transient else "permanent"
+        super().__init__(
+            f"{flavor} write error on query {query_id}'s lineage log"
+        )
+
+
 class QueryAborted(FaultError):
     """A query was aborted (fault, deadline, cancellation, disconnect).
 

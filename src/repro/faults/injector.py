@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Set, Tuple
 
 from repro.faults.errors import DiskReadError, QueryAborted
-from repro.faults.plan import DiskFault, FaultPlan, ProcessFault
+from repro.faults.plan import DiskFault, FaultPlan, LogFault, ProcessFault
 
 
 @dataclass
@@ -47,6 +47,9 @@ class FaultInjector:
         #: Armed disk faults with remaining counts, in schedule order.
         self._armed: List[List] = []  # [DiskFault, remaining_count]
         self._clients: List[Any] = []
+        #: Live lineage logs eligible for log-device faults, in
+        #: registration order (victims picked by sorted query id).
+        self._lineage_logs: List[Any] = []
         #: Log of fired faults (for reports/tests); deterministic values.
         self.fired: List[dict] = []
 
@@ -71,11 +74,22 @@ class FaultInjector:
             self.sim.spawn(
                 self._process_fault(fault), name=f"fault-{fault.kind}-{i}"
             )
+        for i, fault in enumerate(
+            sorted(self.plan.log_faults,
+                   key=lambda f: (f.at, f.kind, f.target))
+        ):
+            self.sim.spawn(
+                self._log_fault(fault), name=f"fault-log-{fault.kind}-{i}"
+            )
         return self
 
     def register_client(self, process) -> None:
         """Make a client process eligible for ``disconnect`` faults."""
         self._clients.append(process)
+
+    def register_lineage_log(self, log) -> None:
+        """Make a per-query lineage log eligible for log-device faults."""
+        self._lineage_logs.append(log)
 
     # ------------------------------------------------------------------
     # Disk channel
@@ -171,7 +185,10 @@ class FaultInjector:
         )
 
     def _crash_scanner(self, fault: ProcessFault) -> None:
-        fscan = self.engine.engines.get("fscan")
+        # Engines without micro-engines (IteratorEngine, PushEngine) have
+        # no shared scanner threads to crash.
+        engines = getattr(self.engine, "engines", None)
+        fscan = engines.get("fscan") if engines is not None else None
         manager = getattr(fscan, "_circular", None)
         if manager is None or not manager.scans:
             return
@@ -199,3 +216,23 @@ class FaultInjector:
         victim = alive[fault.target % len(alive)]
         self._record("client_disconnect", client=victim.name)
         victim.interrupt("client disconnected")
+
+    # ------------------------------------------------------------------
+    # Log-device channel
+    # ------------------------------------------------------------------
+    def _log_fault(self, fault: LogFault):
+        delay = max(0.0, fault.at - self.sim.now)
+        yield self.sim.timeout(delay)
+        logs = sorted(self._lineage_logs, key=lambda l: l.query_id)
+        if not logs:
+            return
+        victim = logs[fault.target % len(logs)]
+        if fault.kind == "error":
+            victim.fail_next_flush = True
+            victim.fail_transient = fault.transient
+            self._record(
+                "log_error", query=victim.query_id, transient=fault.transient
+            )
+        else:
+            victim.tear_next_flush = True
+            self._record("log_torn", query=victim.query_id)

@@ -81,12 +81,40 @@ class ProcessFault:
             raise ValueError(f"unknown process fault kind {self.kind!r}")
 
 
+@dataclass(frozen=True)
+class LogFault:
+    """One scheduled lineage-log-device fault.
+
+    Args:
+        at: virtual time the fault arms.
+        kind: ``error`` (the victim's next log flush raises a
+            :class:`~repro.faults.errors.LogWriteError`; the query keeps
+            running but stops recording lineage) or ``torn`` (the
+            victim's next flush "succeeds" but its tail record lands
+            torn -- a checksum mismatch that truncates the durable
+            frontier at recovery time).
+        target: deterministic victim index into the registered lineage
+            logs, sorted by query id (wraps modulo the count).
+        transient: reported flavour for ``error`` faults.
+    """
+
+    at: float
+    kind: str = "error"
+    target: int = 0
+    transient: bool = True
+
+    def __post_init__(self):
+        if self.kind not in ("error", "torn"):
+            raise ValueError(f"unknown log fault kind {self.kind!r}")
+
+
 @dataclass
 class FaultPlan:
-    """A deterministic schedule of disk and process faults."""
+    """A deterministic schedule of disk, process, and log-device faults."""
 
     disk_faults: List[DiskFault] = field(default_factory=list)
     process_faults: List[ProcessFault] = field(default_factory=list)
+    log_faults: List[LogFault] = field(default_factory=list)
 
     # -- fluent builders -------------------------------------------------
     def disk_error(
@@ -149,9 +177,27 @@ class FaultPlan:
         )
         return self
 
+    def log_error(
+        self, at: float, target: int = 0, transient: bool = True
+    ) -> "FaultPlan":
+        self.log_faults.append(
+            LogFault(at=at, kind="error", target=target, transient=transient)
+        )
+        return self
+
+    def torn_record(self, at: float, target: int = 0) -> "FaultPlan":
+        self.log_faults.append(
+            LogFault(at=at, kind="torn", target=target)
+        )
+        return self
+
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
-        return len(self.disk_faults) + len(self.process_faults)
+        return (
+            len(self.disk_faults)
+            + len(self.process_faults)
+            + len(self.log_faults)
+        )
 
     def describe(self) -> List[str]:
         """One human-readable line per scheduled fault, in time order."""
@@ -169,6 +215,16 @@ class FaultPlan:
                 (fault.at,
                  f"t={fault.at:.1f}s {fault.kind}{scope} #{fault.target}")
             )
+        for fault in sorted(self.log_faults, key=lambda f: f.at):
+            flavor = (
+                " (transient)" if fault.kind == "error" and fault.transient
+                else " (permanent)" if fault.kind == "error" else ""
+            )
+            lines.append(
+                (fault.at,
+                 f"t={fault.at:.1f}s log {fault.kind}{flavor} "
+                 f"#{fault.target}")
+            )
         return [text for _at, text in sorted(lines, key=lambda p: p[0])]
 
 
@@ -178,11 +234,14 @@ def random_plan(
     disk_faults: int = 6,
     process_faults: int = 3,
     tables: Optional[List[str]] = None,
+    log_faults: int = 0,
 ) -> FaultPlan:
     """A seeded random fault plan over ``[0, horizon)`` virtual seconds.
 
     The same ``seed`` always yields the same plan, which is the contract
-    the chaos harness's determinism guarantee rests on.
+    the chaos harness's determinism guarantee rests on.  ``log_faults``
+    draws come *after* every disk and process draw, so enabling them
+    never perturbs the disk/process schedule an existing seed produces.
     """
     rng = random.Random(seed)
     plan = FaultPlan()
@@ -209,4 +268,12 @@ def random_plan(
             plan.crash_scanner(at)
         else:
             plan.disconnect(at, target=rng.randint(0, 7))
+    for _ in range(log_faults):
+        at = rng.uniform(horizon * 0.05, horizon)
+        roll = rng.random()
+        target = rng.randint(0, 7)
+        if roll < 0.6:
+            plan.log_error(at, target=target, transient=rng.random() < 0.7)
+        else:
+            plan.torn_record(at, target=target)
     return plan

@@ -19,6 +19,8 @@ from repro.harness.experiments import (
     Figure,
     chaos,
     render_chaos,
+    recovery,
+    render_recovery,
     fig1a_breakdown,
     fig1b_throughput,
     fig4_wop,
@@ -49,6 +51,8 @@ __all__ = [
     "ablation_replay_ring",
     "chaos",
     "render_chaos",
+    "recovery",
+    "render_recovery",
     "collected_tracers",
     "disable_tracing",
     "enable_tracing",

@@ -26,6 +26,7 @@ from repro.harness import (
     SMOKE,
     chaos,
     render_chaos,
+    render_recovery,
 )
 from repro.harness.experiments import substitute_engine
 from repro.parallel import CellCache, CellError, PoolRunner
@@ -108,7 +109,19 @@ def main(argv=None) -> int:
         "--fault-seed",
         type=int,
         default=1,
-        help="seed for the chaos experiment's random fault plan",
+        help=(
+            "seed for the chaos experiment's random fault plan and the "
+            "recovery experiment's crash points"
+        ),
+    )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        default=False,
+        help=(
+            "chaos only: run clients under the lineage RecoveryManager "
+            "so crashed queries resume instead of failing"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -116,11 +129,14 @@ def main(argv=None) -> int:
         print("available figures:")
         for name in FIGURES:
             print(f"  {name}")
-        print("  chaos  (supports --fault-seed N)")
+        print("  chaos     (supports --fault-seed N, --recovery)")
+        print("  recovery  (supports --fault-seed N, --jobs N)")
         return 0
 
     if args.figure == "chaos":
         return _run_chaos(args)
+    if args.figure == "recovery":
+        return _run_recovery(args)
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]
     unknown = [n for n in names if n not in FIGURES]
@@ -171,7 +187,12 @@ def _run_chaos(args) -> int:
     scale = SCALES[args.scale]
     # Wall-clock here measures the *host*, never sim behaviour.
     start = time.time()  # simlint: disable=DET001
-    result = chaos(scale, fault_seed=args.fault_seed)
+    result = chaos(
+        scale,
+        fault_seed=args.fault_seed,
+        engine_backend=args.engine,
+        recovery=args.recovery,
+    )
     print(render_chaos(result))
     elapsed = time.time() - start  # simlint: disable=DET001
     print(f"[chaos @ {scale.name}: {elapsed:.1f}s wall]")
@@ -183,6 +204,35 @@ def _run_chaos(args) -> int:
         write_jsonl(result["events"], path)
         print(f"[trace: {path} ({len(result['events'])} events)]")
     return 1 if result["violations"] else 0
+
+
+def _run_recovery(args) -> int:
+    """Recovery is cell-based (one cell per crash scenario), so it runs
+    on the same pool/cache machinery as the figures and its output is
+    byte-identical for every ``--jobs`` value."""
+    from repro.harness.experiments import recovery_cells, recovery_merge
+
+    scale = SCALES[args.scale]
+    cache = None
+    if args.cache_clear:
+        CellCache(args.cache_dir).clear()
+    if args.cache:
+        cache = CellCache(args.cache_dir)
+    # Wall-clock here measures the *host*, never sim behaviour.
+    start = time.time()  # simlint: disable=DET001
+    specs = recovery_cells(scale, fault_seed=args.fault_seed)
+    with PoolRunner(jobs=args.jobs, cache=cache) as runner:
+        results = runner.run(specs)
+    payloads = {s: r.payload for s, r in results.items()}
+    result = recovery_merge(specs, payloads)
+    print(render_recovery(result))
+    elapsed = time.time() - start  # simlint: disable=DET001
+    print(f"[recovery @ {scale.name}: {elapsed:.1f}s wall]")
+    clean = all(
+        p["outcome"] == "ok" and p["byte_identical"] and not p["violations"]
+        for p in result.values()
+    )
+    return 0 if clean else 1
 
 
 def _dump_cell_traces(directory: str, figure: str, specs, results) -> None:

@@ -21,6 +21,7 @@ feeds the same specs through :class:`~repro.parallel.pool.PoolRunner`.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass
@@ -1140,6 +1141,8 @@ def chaos(
     process_faults: int = 4,
     stagger: float = 10.0,
     horizon: float = 250.0,
+    engine_backend: str = "packets",
+    recovery: bool = False,
 ) -> Dict:
     """Run the Figure 12 query mix under a seeded random fault plan.
 
@@ -1149,6 +1152,16 @@ def chaos(
     buffer-pool pin and table lock reclaimed and no orphaned satellites
     (checked by replaying the recorded trace through the
     InvariantChecker plus direct end-state inspection).
+
+    ``engine_backend`` selects the server under attack: ``packets`` (the
+    QPipe micro-engine build) or ``pushed`` (the push-based fused
+    backend).  With ``recovery=True`` every client executes through a
+    :class:`~repro.lineage.RecoveryManager` -- crashes and disconnects
+    resume from the durable lineage frontier instead of surfacing, the
+    fault plan additionally draws two log-device faults (appended
+    *after* the disk/process draws, so the schedule an existing seed
+    produces is unchanged), and a completed query must still match its
+    fault-free solo rows.
 
     Returns a dict with the fault plan, per-query outcomes, the recorded
     trace events (for the determinism test: same ``fault_seed`` + config
@@ -1160,11 +1173,17 @@ def chaos(
     """
     from repro.faults import FaultInjector, random_plan
     from repro.faults.errors import FaultError
+    from repro.lineage import RecoveryManager
     from repro.obs import Tracer
     from repro.obs.invariants import InvariantChecker
     from repro.sim import Interrupted
 
     names = list(MIX)
+
+    def build_system():
+        if engine_backend == "pushed":
+            return build_tpch_system(scale, "dbmsx", backend="pushed")
+        return build_tpch_system(scale, "qpipe")
 
     def rows_match(got, want) -> bool:
         # A consumer attaching to a circular scan mid-file receives the
@@ -1197,12 +1216,12 @@ def chaos(
 
     # Reference: each query solo on a fresh fault-free system.
     reference: Dict[str, List[tuple]] = {}
-    host, sm, engine = build_tpch_system(scale, "qpipe")
+    host, sm, engine = build_system()
     for name, plan in zip(names, build_plans()):
         reference[name] = sorted(engine.run_query(plan))
 
     # Faulted run: all queries staggered, under the seeded fault plan.
-    host, sm, engine = build_tpch_system(scale, "qpipe")
+    host, sm, engine = build_system()
     tracer = Tracer(host.sim)
     fault_plan = random_plan(
         fault_seed,
@@ -1210,22 +1229,34 @@ def chaos(
         disk_faults=disk_faults,
         process_faults=process_faults,
         tables=["lineitem", "orders", "part"],
+        log_faults=2 if recovery else 0,
     )
     injector = FaultInjector(fault_plan).attach(engine)
+    manager = (
+        RecoveryManager(engine, injector=injector) if recovery else None
+    )
     outcomes: Dict[str, Tuple[str, object]] = {}
 
     def client(name, plan, delay):
-        yield host.sim.timeout(delay)
+        # The stagger sleep is inside the try: a disconnect landing
+        # before the query starts is still a clean "disconnected"
+        # outcome, not a lost client.
         try:
-            result = yield from engine.execute(plan)
+            yield host.sim.timeout(delay)
+            if manager is not None:
+                report = yield from manager.run(plan)
+                rows = report.rows
+            else:
+                result = yield from engine.execute(plan)
+                rows = result.rows
         except FaultError as exc:
             outcomes[name] = ("failed", type(exc).__name__)
             return None
         except Interrupted:
             outcomes[name] = ("disconnected", None)
             return None
-        outcomes[name] = ("completed", sorted(result.rows))
-        return result
+        outcomes[name] = ("completed", sorted(rows))
+        return None
 
     procs = []
     for i, (name, plan) in enumerate(zip(names, build_plans())):
@@ -1273,8 +1304,10 @@ def chaos(
         violations.append(
             f"{engine.active_queries} queries still active at end of run"
         )
-    return {
+    result = {
         "fault_seed": fault_seed,
+        "engine": engine_backend,
+        "recovery": recovery,
         "plan": fault_plan.describe(),
         "fired": injector.fired,
         "outcomes": summary,
@@ -1282,10 +1315,18 @@ def chaos(
         "violations": violations,
         "events": tracer.events,
     }
+    if manager is not None:
+        result["recoveries"] = manager.recoveries
+        result["clean_restarts"] = manager.clean_restarts
+        result["pages_saved"] = manager.pages_saved
+    return result
 
 
 def render_chaos(result: Dict) -> str:
-    lines = [f"Chaos run (fault seed {result['fault_seed']}):"]
+    label = result.get("engine", "packets")
+    if result.get("recovery"):
+        label += ", recovery on"
+    lines = [f"Chaos run (fault seed {result['fault_seed']}, {label}):"]
     lines.append("  scheduled faults:")
     for line in result["plan"]:
         lines.append(f"    {line}")
@@ -1294,10 +1335,262 @@ def render_chaos(result: Dict) -> str:
     for name, verdict in result["outcomes"].items():
         lines.append(f"    {name:<4} {verdict}")
     lines.append(f"  queries aborted: {result['aborted']}")
+    if result.get("recovery"):
+        lines.append(
+            f"  recoveries: {result['recoveries']} resumed, "
+            f"{result['clean_restarts']} clean restarts, "
+            f"{result['pages_saved']} pages of rescanning saved"
+        )
     if result["violations"]:
         lines.append(f"  VIOLATIONS ({len(result['violations'])}):")
         for violation in result["violations"]:
             lines.append(f"    {violation}")
     else:
         lines.append("  invariants: all clean (pins, locks, satellites)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Recovery harness: restart-work-saved under mid-query crashes
+# ---------------------------------------------------------------------------
+#: One controlled crash scenario per resume mechanism and engine.
+RECOVERY_SCENARIOS = (
+    "scan",          # qpipe, OSP on: solo scan, crash mid-pass
+    "scan-noshare",  # OSP off (Baseline build): same crash, private scan
+    "osp-pair",      # crash a consumer that attached mid-circular-scan
+    "agg",           # Aggregate(scan): checkpoint resume
+    "torn",          # torn lineage record: truncated frontier, still right
+    "log-error",     # log device dies early: degraded frontier, still right
+    "pushed",        # push-based fused engine, scan crash
+    "iterator",      # iterator engine: client disconnect as the fault
+)
+
+
+def _recovery_scan_plan() -> TableScan:
+    return TableScan("lineitem", project=["l_orderkey", "l_extendedprice"])
+
+
+def _recovery_agg_plan() -> Aggregate:
+    return Aggregate(
+        TableScan("lineitem"),
+        [
+            AggSpec("sum", Col("l_extendedprice"), "revenue"),
+            AggSpec("avg", Col("l_quantity"), "avg_qty"),
+            AggSpec("count", None, "n"),
+            AggSpec("max", Col("l_discount"), "max_disc"),
+        ],
+    )
+
+
+def _recovery_build(scale: Scale, scenario: str):
+    if scenario == "scan-noshare":
+        return build_tpch_system(scale, "baseline")
+    if scenario == "pushed":
+        return build_tpch_system(scale, "dbmsx", backend="pushed")
+    if scenario == "iterator":
+        return build_tpch_system(scale, "dbmsx")
+    return build_tpch_system(scale, "qpipe")
+
+
+@cell
+def recovery_cell(spec: CellSpec) -> Dict[str, Any]:
+    """One crash scenario: fault-free reference vs crashed-plus-recovered.
+
+    The crash lands at a seeded fraction of the measured fault-free
+    duration, so every seed probes a different point of the scan.  The
+    recovered rows must be *byte-identical* to the reference (these
+    scenarios control attachment order, so no float-fold slack is
+    needed) and the run must leave pins, locks and temp files balanced.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.faults.errors import FaultError
+    from repro.lineage import RecoveryManager
+    from repro.obs import Tracer
+    from repro.obs.invariants import InvariantChecker
+    from repro.sim import Interrupted
+
+    c = spec.coord
+    scenario = c["scenario"]
+    fault_seed = int(c["fault_seed"])
+    rng = random.Random(fault_seed)
+    crash_frac = rng.uniform(0.3, 0.8)
+    plan_fn = _recovery_agg_plan if scenario == "agg" else _recovery_scan_plan
+    pair = scenario == "osp-pair"
+    attach_delay = 0.0
+
+    # ---- fault-free reference (also measures the duration) ------------
+    host, sm, engine = _recovery_build(spec.scale, scenario)
+    reference: Dict[str, List[tuple]] = {}
+    if pair:
+        attach_delay = 0.4 * spec.scale.lineitem_scan_seconds
+
+        def ref_c1():
+            res = yield from engine.execute(TableScan("lineitem",
+                                                      project=["l_orderkey"]))
+            reference["peer"] = res.rows
+
+        def ref_c2():
+            yield host.sim.timeout(attach_delay)
+            res = yield from engine.execute(plan_fn())
+            reference["main"] = res.rows
+
+        host.sim.spawn(ref_c1(), name="ref-peer")
+        host.sim.spawn(ref_c2(), name="ref-main")
+        host.sim.run()
+        duration = host.sim.now - attach_delay
+        crash_at = attach_delay + crash_frac * duration
+    else:
+        result = engine.run_query(plan_fn())
+        reference["main"] = result
+        duration = host.sim.now
+        crash_at = crash_frac * duration
+
+    # ---- crashed run with recovery ------------------------------------
+    host, sm, engine = _recovery_build(spec.scale, scenario)
+    tracer = Tracer(host.sim)
+    fault_plan = FaultPlan()
+    if scenario == "iterator":
+        # The iterator engine has no server-side abort channel; the
+        # fault is a client disconnect, and recovery doubles as the
+        # reconnect path.
+        fault_plan.disconnect(at=crash_at, target=0)
+    elif pair:
+        # Two active queries, sorted by id: target=1 crashes the later
+        # one -- the consumer that attached mid-circular-scan.
+        fault_plan.crash_query(at=crash_at, target=1)
+    else:
+        fault_plan.crash_query(at=crash_at, target=0)
+    if scenario == "torn":
+        fault_plan.torn_record(at=0.5 * crash_at, target=0)
+    elif scenario == "log-error":
+        fault_plan.log_error(at=0.25 * crash_at, target=0, transient=False)
+    injector = FaultInjector(fault_plan).attach(engine)
+    manager = RecoveryManager(engine, injector=injector)
+    got: Dict[str, Any] = {}
+    failure: List[str] = []
+
+    def run_main():
+        try:
+            report = yield from manager.run(plan_fn())
+        except (FaultError, Interrupted) as exc:
+            failure.append(type(exc).__name__)
+            return
+        got["main"] = report.rows
+        got["report"] = report
+
+    procs = []
+    if pair:
+        def run_peer():
+            res = yield from engine.execute(TableScan("lineitem",
+                                                      project=["l_orderkey"]))
+            got["peer"] = res.rows
+
+        procs.append(host.sim.spawn(run_peer(), name="rec-peer"))
+
+        def run_delayed():
+            yield host.sim.timeout(attach_delay)
+            yield from run_main()
+
+        main_proc = host.sim.spawn(run_delayed(), name="rec-main")
+    else:
+        main_proc = host.sim.spawn(run_main(), name="rec-main")
+    procs.append(main_proc)
+    injector.register_client(main_proc)
+    host.sim.run_until_done(procs)
+
+    # ---- verdicts -----------------------------------------------------
+    violations = list(InvariantChecker(tracer.events).check())
+    for resource, grants in sm.locks._granted.items():
+        for owner, _mode in grants:
+            violations.append(f"residual lock on {resource!r} by {owner!r}")
+    for key, count in sm.pool._pins.items():
+        violations.append(f"leaked buffer pin on page {key} (count={count})")
+    active = getattr(engine, "active_queries", 0)
+    if active:
+        violations.append(f"{active} queries still active at end of run")
+    report = got.get("report")
+    identical = all(
+        got.get(k) == reference[k] for k in reference
+    ) and set(got) >= set(reference)
+    log = manager.logs.get(report.query_id) if report is not None else None
+    digest = (
+        hashlib.sha256(log.serialize().encode()).hexdigest()
+        if log is not None else None
+    )
+    return {
+        "scenario": scenario,
+        "fault_seed": fault_seed,
+        "outcome": "ok" if not failure else f"failed:{failure[0]}",
+        "byte_identical": bool(identical),
+        "attempts": report.attempts if report else 0,
+        "recoveries": report.recoveries if report else 0,
+        "clean_restarts": report.clean_restarts if report else 0,
+        "pages_saved": report.pages_saved if report else 0,
+        "pages_total": report.pages_total if report else 0,
+        "faults_fired": [f["type"] for f in injector.fired],
+        "lineage_records": len(log.records) if log else 0,
+        "log_blocks": log.blocks_written if log else 0,
+        "lineage_digest": digest,
+        "violations": violations,
+    }
+
+
+def recovery_cells(
+    scale: Scale = SMOKE, fault_seed: int = 1
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "recovery", fn_key(recovery_cell), scale,
+            coords(scenario=scenario, fault_seed=fault_seed),
+        )
+        for scenario in RECOVERY_SCENARIOS
+    ]
+
+
+def recovery_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Dict[str, Dict[str, Any]]:
+    return {spec.coord["scenario"]: payloads[spec] for spec in specs}
+
+
+def recovery(
+    scale: Scale = SMOKE,
+    fault_seed: int = 1,
+    results: Optional[Payloads] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Run every recovery scenario; returns ``{scenario: payload}``."""
+    specs = recovery_cells(scale, fault_seed)
+    return recovery_merge(specs, _payloads(specs, results))
+
+
+def render_recovery(result: Dict[str, Dict[str, Any]]) -> str:
+    lines = ["Mid-query recovery (restart work saved per crash scenario):"]
+    header = (
+        f"  {'scenario':<14} {'outcome':<10} {'rows':<6} "
+        f"{'saved':>5}/{'total':<5} {'resumed':>7} {'restarts':>8}"
+    )
+    lines.append(header)
+    total_saved = 0
+    clean = True
+    for scenario, p in result.items():
+        rows = "exact" if p["byte_identical"] else "WRONG"
+        saved = p["pages_saved"]
+        total_saved += saved
+        lines.append(
+            f"  {scenario:<14} {p['outcome']:<10} {rows:<6} "
+            f"{saved:>5}/{p['pages_total']:<5} {p['recoveries']:>7} "
+            f"{p['clean_restarts']:>8}"
+        )
+        if p["violations"] or not p["byte_identical"] or p["outcome"] != "ok":
+            clean = False
+            for violation in p["violations"]:
+                lines.append(f"    VIOLATION: {violation}")
+    lines.append(
+        f"  total rescanning saved: {total_saved} pages across "
+        f"{len(result)} crash scenarios"
+    )
+    lines.append(
+        "  all scenarios clean" if clean
+        else "  SOME SCENARIOS FAILED (see above)"
+    )
     return "\n".join(lines)

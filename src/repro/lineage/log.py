@@ -1,0 +1,206 @@
+"""The per-query write-ahead lineage log.
+
+A :class:`LineageLog` buffers compact :class:`LineageRecord` entries and
+makes them durable on a dedicated sequential log device, charging one
+block write per ``records_per_block`` buffered records -- the same
+device model :class:`repro.storage.wal.WriteAheadLog` uses for
+transaction records.  Records are self-checking: each carries a CRC-32
+over its canonical JSON body, so a *torn* record (a flush the simulated
+machine half-completed) is detected at recovery time and truncates the
+durable frontier strictly before it -- recovery then degrades to a
+clean restart, never to a wrong answer.
+
+Fault hooks (armed by :class:`repro.faults.FaultInjector`):
+
+* ``fail_next_flush`` -- the next :meth:`flush` raises
+  :class:`~repro.faults.errors.LogWriteError` after consuming the flag;
+  the tracker responds by disabling further recording.
+* ``tear_next_flush`` -- the next flush "succeeds" but its tail record
+  lands with a corrupted checksum.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any, Generator, List, Optional
+
+from repro.faults.errors import LogWriteError
+
+
+def _body_blob(
+    seq: int,
+    kind: str,
+    rows: int,
+    table: Optional[str],
+    first_page: Optional[int],
+    pages: Optional[int],
+    payload: Any,
+) -> bytes:
+    """The canonical serialised record body the checksum covers."""
+    doc = [seq, kind, rows, table, first_page, pages, payload]
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """One lineage log entry.
+
+    ``kind`` is ``batch`` (the query's root output reached ``rows``
+    rows, wholly produced by ``pages`` input pages starting at
+    ``first_page`` in wrapped scan order) or ``checkpoint`` (a stateful
+    operator serialised its accumulator state in ``payload`` at an input
+    frontier of ``rows`` child rows / ``pages`` pages).
+    """
+
+    seq: int
+    kind: str
+    rows: int
+    table: Optional[str]
+    first_page: Optional[int]
+    pages: Optional[int]
+    payload: Any
+    checksum: int
+
+    @classmethod
+    def make(
+        cls,
+        seq: int,
+        kind: str,
+        rows: int,
+        table: Optional[str] = None,
+        first_page: Optional[int] = None,
+        pages: Optional[int] = None,
+        payload: Any = None,
+    ) -> "LineageRecord":
+        blob = _body_blob(seq, kind, rows, table, first_page, pages, payload)
+        return cls(
+            seq=seq,
+            kind=kind,
+            rows=rows,
+            table=table,
+            first_page=first_page,
+            pages=pages,
+            payload=payload,
+            checksum=zlib.crc32(blob),
+        )
+
+    @property
+    def intact(self) -> bool:
+        blob = _body_blob(
+            self.seq, self.kind, self.rows, self.table,
+            self.first_page, self.pages, self.payload,
+        )
+        return zlib.crc32(blob) == self.checksum
+
+    def to_wire(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "rows": self.rows,
+            "table": self.table,
+            "first_page": self.first_page,
+            "pages": self.pages,
+            "payload": self.payload,
+            "checksum": self.checksum,
+        }
+
+
+class LineageLog:
+    """An append-only, checksummed lineage log for one query."""
+
+    def __init__(self, sim, device, query_id: int,
+                 records_per_block: int = 16):
+        self.sim = sim
+        self.device = device
+        self.query_id = query_id
+        self.records_per_block = records_per_block
+        self.records: List[LineageRecord] = []
+        #: Index of the last durable record (-1: nothing flushed).
+        self.flushed = -1
+        self._next_block = 0
+        #: Total simulated blocks written (reports / tests).
+        self.blocks_written = 0
+        # Injected-fault flags, armed by the FaultInjector.
+        self.fail_next_flush = False
+        self.fail_transient = True
+        self.tear_next_flush = False
+        self._torn_reported = False
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        kind: str,
+        rows: int,
+        table: Optional[str] = None,
+        first_page: Optional[int] = None,
+        pages: Optional[int] = None,
+        payload: Any = None,
+    ) -> LineageRecord:
+        record = LineageRecord.make(
+            seq=len(self.records), kind=kind, rows=rows, table=table,
+            first_page=first_page, pages=pages, payload=payload,
+        )
+        self.records.append(record)
+        self.sim.tracer.lineage(
+            "append", query=self.query_id, seq=record.seq, kind=kind
+        )
+        return record
+
+    def flush(self) -> Generator:
+        """Coroutine: force every buffered record to the log device.
+
+        Charges sequential block writes like the WAL; raises
+        :class:`LogWriteError` when an injected log fault is armed (the
+        buffered records stay volatile -- nothing is lost on a flush
+        failure except durability).
+        """
+        target = len(self.records) - 1
+        if target <= self.flushed:
+            return
+        if self.fail_next_flush:
+            self.fail_next_flush = False
+            raise LogWriteError(self.query_id, transient=self.fail_transient)
+        pending = target - self.flushed
+        blocks = max(1, -(-pending // self.records_per_block))
+        for _ in range(blocks):
+            yield from self.device.write(0, self._next_block)
+            self._next_block += 1
+        self.blocks_written += blocks
+        if self.tear_next_flush:
+            # The tail record of this flush lands torn: its body is on
+            # the device but the checksum no longer matches.
+            self.tear_next_flush = False
+            tail = self.records[target]
+            self.records[target] = replace(
+                tail, checksum=tail.checksum ^ 0xDEADBEEF
+            )
+        self.flushed = target
+        self.sim.tracer.lineage(
+            "flush", query=self.query_id, upto=target, blocks=blocks
+        )
+
+    # ------------------------------------------------------------------
+    def durable(self) -> List[LineageRecord]:
+        """The trustworthy durable prefix: flushed records, truncated
+        strictly before the first checksum mismatch (write-ahead-log
+        torn-tail semantics)."""
+        out: List[LineageRecord] = []
+        for record in self.records[: self.flushed + 1]:
+            if not record.intact:
+                if not self._torn_reported:
+                    self._torn_reported = True
+                    self.sim.tracer.lineage(
+                        "torn", query=self.query_id, seq=record.seq
+                    )
+                break
+            out.append(record)
+        return out
+
+    def serialize(self) -> str:
+        """Deterministic JSONL of every record (determinism tests)."""
+        return "\n".join(
+            json.dumps(r.to_wire(), sort_keys=True, separators=(",", ":"))
+            for r in self.records
+        )

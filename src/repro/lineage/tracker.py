@@ -1,0 +1,195 @@
+"""Per-query lineage tracking: input pages -> emitted batch frontiers.
+
+A :class:`LineageTracker` rides along one query execution.  Scan
+operators report every input page they deliver (in wrapped circular-scan
+order) through :meth:`scan_page`; the engine's root pull loop reports
+every emitted batch through :meth:`on_root_batch`.  From the two streams
+the tracker derives the **recovery frontier**: the longest prefix of
+input pages whose output the client has already received, which is
+exactly the work a resumed query may skip.
+
+The tracker is deliberately conservative.  It understands two plan
+shapes well enough to resume them -- a bare :class:`TableScan` (page
+resume) and ``Aggregate(TableScan)`` (checkpoint resume) -- and for
+everything else it records nothing and recovery degrades to a clean
+restart, which is always correct.  Any surprise in the page stream
+(wrong table, non-contiguous page, more pages than the table holds)
+marks the tracker *broken* and likewise degrades to restart: lineage is
+an optimisation, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Generator, List, Optional
+
+from repro.faults.errors import LogWriteError
+from repro.lineage.log import LineageLog
+from repro.relational.plans import Aggregate, TableScan
+
+
+def resume_shape(plan) -> Optional[str]:
+    """Which resume strategy fits ``plan``: ``scan``, ``agg`` or None."""
+    if isinstance(plan, TableScan):
+        return "scan"
+    if isinstance(plan, Aggregate) and isinstance(plan.child, TableScan):
+        return "agg"
+    return None
+
+
+class LineageTracker:
+    """Tracks one query's input-page / output-row lineage."""
+
+    def __init__(self, sim, log: LineageLog, plan, flush_every: int = 4):
+        self.sim = sim
+        self.log = log
+        self.query_id = log.query_id
+        self.mode = resume_shape(plan)
+        self.flush_every = flush_every
+        #: Rows the client has received so far (survives a server-side
+        #: crash: the client keeps its prefix and asks for the rest).
+        self.received: List[tuple] = []
+        self.rows = 0
+        #: False once the lineage log is unusable (log write error):
+        #: the query keeps running, recovery degrades to clean restart.
+        self.enabled = True
+        # -- the tracked scan stream (single table, wrapped order) -----
+        self.table: Optional[str] = None
+        self.first_page: Optional[int] = None
+        self.num_pages: Optional[int] = None
+        self._stream: Optional[tuple] = None
+        #: rows_out per delivered page, in delivery order.
+        self._page_rows: List[int] = []
+        #: cumulative rows_out (``_cum[i]`` = rows after page ``i``).
+        self._cum: List[int] = []
+        self.broken = False
+        self._last_k = 0
+        self._since_flush = 0
+
+    # ------------------------------------------------------------------
+    # Scan side (host-side, called from scan operators; no sim yields)
+    # ------------------------------------------------------------------
+    def scan_page(
+        self, stream, table: str, page_no: int, rows_out: int,
+        num_pages: int,
+    ) -> None:
+        """Record one delivered input page (post-filter ``rows_out``).
+
+        Pages must arrive in wrapped circular order starting wherever the
+        consumer attached; any deviation marks the tracker broken.
+        """
+        if self.broken or self.mode is None:
+            return
+        if self.table is None:
+            self.table = table
+            self.first_page = page_no
+            self.num_pages = num_pages
+            self._stream = stream
+        else:
+            if table != self.table or num_pages != self.num_pages:
+                self.broken = True
+                return
+            if len(self._page_rows) >= num_pages:
+                # A full pass already delivered every page once.
+                self.broken = True
+                return
+            expected = (self.first_page + len(self._page_rows)) % num_pages
+            if page_no != expected:
+                self.broken = True
+                return
+            # A new stream continuing at the expected page is a resumed
+            # scan picking up the frontier -- adopt it.
+            self._stream = stream
+        self._page_rows.append(rows_out)
+        self._cum.append((self._cum[-1] if self._cum else 0) + rows_out)
+
+    def frontier(self) -> Optional[tuple]:
+        """``(pages, covered_rows)``: the longest page prefix whose
+        output is wholly contained in the rows delivered so far."""
+        if self.broken or self.table is None:
+            return None
+        k = bisect.bisect_right(self._cum, self.rows)
+        covered = self._cum[k - 1] if k else 0
+        return (k, covered)
+
+    # ------------------------------------------------------------------
+    # Root side (client coroutine context; may yield for log flushes)
+    # ------------------------------------------------------------------
+    def on_root_batch(self, batch) -> Generator:
+        """Coroutine: the query root emitted ``batch`` to the client."""
+        self.received.extend(batch)
+        self.rows += len(batch)
+        if not self.enabled or self.mode != "scan":
+            return
+        fr = self.frontier()
+        if fr is None:
+            return
+        k, covered = fr
+        if k <= self._last_k:
+            return
+        self._last_k = k
+        self.log.append(
+            "batch", rows=covered, table=self.table,
+            first_page=self.first_page, pages=k,
+        )
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            yield from self._flush()
+
+    def checkpoint(self, consumed: int, payload: Any) -> Generator:
+        """Coroutine: a stateful breaker snapshotted its accumulator
+        state after ``consumed`` child rows.  Recorded (and immediately
+        flushed) only when ``consumed`` lands exactly on a page
+        boundary of the tracked scan, so the resumed scan can replay
+        precisely the unconsumed suffix."""
+        if not self.enabled or self.mode != "agg" or self.broken:
+            return
+        if self.table is None:
+            return
+        k = bisect.bisect_right(self._cum, consumed)
+        if k == 0 or self._cum[k - 1] != consumed:
+            return
+        self.log.append(
+            "checkpoint", rows=consumed, table=self.table,
+            first_page=self.first_page, pages=k, payload=payload,
+        )
+        yield from self._flush()
+
+    def _flush(self) -> Generator:
+        self._since_flush = 0
+        try:
+            yield from self.log.flush()
+        except LogWriteError:
+            self.enabled = False
+            self.sim.tracer.lineage(
+                "disabled", query=self.query_id, reason="log write error"
+            )
+
+    # ------------------------------------------------------------------
+    # Recovery support
+    # ------------------------------------------------------------------
+    def rebase(self, kept_rows: int, kept_pages: int) -> None:
+        """Truncate to a durable frontier before a resumed attempt:
+        keep ``kept_rows`` delivered rows and ``kept_pages`` pages; the
+        resumed scan's first page must continue the kept prefix."""
+        del self.received[kept_rows:]
+        self.rows = kept_rows
+        del self._page_rows[kept_pages:]
+        self._cum = self._cum[:kept_pages]
+        self.broken = False
+        self._last_k = kept_pages
+        self._since_flush = 0
+
+    def reset(self) -> None:
+        """Forget everything before a clean restart."""
+        self.received = []
+        self.rows = 0
+        self.table = None
+        self.first_page = None
+        self.num_pages = None
+        self._stream = None
+        self._page_rows = []
+        self._cum = []
+        self.broken = False
+        self._last_k = 0
+        self._since_flush = 0

@@ -51,6 +51,7 @@ _FAMILY_METHODS: Dict[str, str] = {
     "pool": "pool",
     "lock": "lock",
     "fault": "fault",
+    "lineage": "lineage",
     "proc": "proc",
 }
 

@@ -134,6 +134,32 @@ _event("fault.scanner_crash", ("table", "position"),
        "Injected: a circular scanner thread was killed mid-scan.")
 _event("fault.client_disconnect", ("client",),
        "Injected: a client process disconnected mid-query.")
+_event("fault.log_error", ("query", "transient"),
+       "Injected: the next lineage-log flush fails with a write error.")
+_event("fault.log_torn", ("query",),
+       "Injected: the next flushed lineage record is torn (bad checksum).")
+
+# -- write-ahead lineage / mid-query recovery -------------------------------
+_event("lineage.append", ("query", "seq", "kind"),
+       "A lineage record entered the per-query log buffer (not yet "
+       "durable).")
+_event("lineage.flush", ("query", "upto", "blocks"),
+       "Buffered lineage records were forced to the log device.")
+_event("lineage.torn", ("query", "seq"),
+       "A durable lineage record failed its checksum; the durable "
+       "frontier truncates strictly before it.")
+_event("lineage.disabled", ("query", "reason"),
+       "Lineage recording stopped (log device failure); recovery "
+       "degrades to clean restart.")
+_event("lineage.checkpoint", ("query", "rows", "pages"),
+       "An operator-state checkpoint was logged at a page-aligned "
+       "input frontier.")
+_event("lineage.recover", ("query", "mode", "position", "pages_saved",
+                           "rows_kept", "attempt"),
+       "A crashed query resumed from its last durable lineage frontier.")
+_event("lineage.restart", ("query", "attempt", "reason"),
+       "A crashed query had no usable durable frontier and restarted "
+       "from scratch.")
 
 # -- simulation kernel ------------------------------------------------------
 _event("proc.spawn", ("name",), "A simulation process was spawned.")

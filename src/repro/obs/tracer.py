@@ -58,6 +58,7 @@ _PROC_NAMES = _family_names("proc")
 _OSP_NAMES = _family_names("osp")
 _LOCK_NAMES = _family_names("lock")
 _FAULT_NAMES = _family_names("fault")
+_LINEAGE_NAMES = _family_names("lineage")
 
 
 class NullTracer:
@@ -106,6 +107,10 @@ class NullTracer:
 
     # -- fault injection / recovery ------------------------------------------
     def fault(self, etype: str, **fields) -> None:
+        pass
+
+    # -- write-ahead lineage / mid-query recovery ----------------------------
+    def lineage(self, etype: str, **fields) -> None:
         pass
 
     # -- simulation kernel ---------------------------------------------------
@@ -237,6 +242,15 @@ class Tracer(NullTracer):
         name = _FAULT_NAMES.get(etype)
         if name is None:
             raise UnknownTraceEvent(f"fault.{etype}")
+        record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
+        record.update(fields)
+        self.events.append(record)
+
+    # -- write-ahead lineage / mid-query recovery ----------------------------
+    def lineage(self, etype: str, **fields) -> None:
+        name = _LINEAGE_NAMES.get(etype)
+        if name is None:
+            raise UnknownTraceEvent(f"lineage.{etype}")
         record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
         record.update(fields)
         self.events.append(record)

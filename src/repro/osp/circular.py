@@ -49,6 +49,9 @@ class ScanConsumer:
     #: Buffer-pool stream identity for this consumer's private catch-up
     #: scan (process-unique, never a recycled object id).
     stream: Any = field(default_factory=next_stream)
+    #: Post-filter row count of the last page delivered to this consumer
+    #: (what lineage records as the page's contribution to the output).
+    last_out: int = 0
 
 
 @dataclass
@@ -238,6 +241,16 @@ class CircularScanManager:
         consumer.last_visit = scan.visit_seq
         consumer.pages_remaining -= 1
         consumer.delivered_pages += 1
+        # Lineage sees the delivery only once it is complete (the put
+        # accepted), under the *consumer's* identity: each sharer of the
+        # circular scan tracks its own wrapped page order from wherever
+        # it attached.
+        lineage = consumer.packet.query.lineage
+        if lineage is not None:
+            lineage.scan_page(
+                consumer.packet.stream, scan.table, scan.current_page,
+                consumer.last_out, scan.num_pages,
+            )
 
     @property
     def _patience(self) -> float:
@@ -269,6 +282,7 @@ class CircularScanManager:
             out = [row for row in out if consumer.filter_fn(row)]
         if consumer.project_fn is not None:
             out = [consumer.project_fn(row) for row in out]
+        consumer.last_out = len(out)
         if out:
             before = packet.primary_output.tuples_in
             try:
@@ -331,6 +345,12 @@ class CircularScanManager:
                     break
                 consumer.pages_remaining -= 1
                 consumer.delivered_pages += 1
+                lineage = packet.query.lineage
+                if lineage is not None:
+                    lineage.scan_page(
+                        packet.stream, table, page_no,
+                        consumer.last_out, num_pages,
+                    )
                 page_no = (page_no + 1) % num_pages
         except ChannelClosed:
             pass
@@ -351,6 +371,7 @@ class CircularScanManager:
             out = [row for row in out if consumer.filter_fn(row)]
         if consumer.project_fn is not None:
             out = [consumer.project_fn(row) for row in out]
+        consumer.last_out = len(out)
         if out:
             try:
                 yield from packet.primary_output.put(out)

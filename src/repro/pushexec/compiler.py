@@ -175,13 +175,20 @@ def _scan_source(ctx: ExecContext, plan: TableScan) -> Callable:
             else None
         )
     num_pages = ctx.sm.num_pages(plan.table)
+    # Recovery resume: visit exactly the unconsumed page suffix in
+    # wrapped order; a fresh scan visits every page from 0.
+    if plan.resume is None:
+        start_page, page_count = 0, num_pages
+    else:
+        start_page, page_count = plan.resume
 
     def run():
         # A fresh counter value stands in for the iterator op's
         # id(self) as the circular-scan stream identity (see
         # _next_stream on why not id()).
         stream = _next_stream()
-        for page_no in range(num_pages):
+        for i in range(page_count):
+            page_no = (start_page + i) % num_pages
             page = yield from ctx.sm.read_table_page(
                 plan.table, page_no, scan=True, stream=stream
             )
@@ -194,6 +201,10 @@ def _scan_source(ctx: ExecContext, plan: TableScan) -> Callable:
                     rows = [row for row in rows if pred(row)]
                 if proj is not None:
                     rows = [proj(row) for row in rows]
+            if ctx.lineage is not None:
+                ctx.lineage.scan_page(
+                    stream, plan.table, page_no, len(rows), num_pages
+                )
             if rows:
                 yield (_BATCH, rows)
 
@@ -314,7 +325,9 @@ def _sort_source(ctx, plan: Sort, child_factory, schema) -> Callable:
     def spill(rows, runs):
         yield from sort_cost(len(rows))
         rows.sort(key=key, reverse=descending)
-        run_file = ctx.sm.create_temp_file(row_width, label="sortrun")
+        run_file = ctx.track_temp(
+            ctx.sm.create_temp_file(row_width, label="sortrun")
+        )
         yield from ctx.sm.write_run(run_file, rows)
         runs.append(run_file)
 
@@ -378,7 +391,7 @@ def _sort_source(ctx, plan: Sort, child_factory, schema) -> Callable:
                 if row is None:
                     done = True
                     for run_file in runs:
-                        ctx.sm.drop_temp_file(run_file)
+                        ctx.drop_temp(run_file)
                     break
                 out.append(row)
             if out:
@@ -396,7 +409,7 @@ def _partition(ctx, rows, key, nparts, label):
     yield from ctx.cpu(len(rows))
     parts = []
     for bucket in buckets:
-        part = ctx.sm.create_temp_file(64, label=label)
+        part = ctx.track_temp(ctx.sm.create_temp_file(64, label=label))
         yield from ctx.sm.write_run(part, bucket)
         parts.append(part)
     return parts
@@ -490,7 +503,7 @@ def _hashjoin_source(
             for i in range(0, len(pending), 1024):
                 yield (_BATCH, pending[i : i + 1024])
         for part in lparts + rparts:
-            ctx.sm.drop_temp_file(part)
+            ctx.drop_temp(part)
 
     return run
 
@@ -568,13 +581,15 @@ def _nljoin_source(
             if batch is None:
                 break
             rrows.extend(batch)
-        mat = ctx.sm.create_temp_file(right_width, label="nlj")
+        mat = ctx.track_temp(
+            ctx.sm.create_temp_file(right_width, label="nlj")
+        )
         yield from ctx.sm.write_run(mat, rrows)
         left = left_factory()
         while True:
             batch = yield from pull_batch(left)
             if batch is None:
-                ctx.sm.drop_temp_file(mat)
+                ctx.drop_temp(mat)
                 return
             out: List[tuple] = []
             for block in range(mat.num_pages):
@@ -660,6 +675,8 @@ def _aggregate_source(ctx, plan: Aggregate, child_factory, in_schema) -> Callabl
     def run():
         states = [spec.make_state() for spec in specs]
         child = child_factory()
+        consumed = 0
+        batches = 0
         while True:
             batch = yield from pull_batch(child)
             if batch is None:
@@ -668,6 +685,13 @@ def _aggregate_source(ctx, plan: Aggregate, child_factory, in_schema) -> Callabl
             if batch:
                 for state, update in zip(states, updaters):
                     update(state, batch)
+            consumed += len(batch)
+            batches += 1
+            if ctx.lineage is not None and batches % 8 == 0:
+                yield from ctx.lineage.checkpoint(
+                    consumed,
+                    [(s.count, s.total, s.best) for s in states],
+                )
         yield (_BATCH, [tuple(state.result() for state in states)])
 
     return run

@@ -14,7 +14,7 @@ Every node computes:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.expressions import AggSpec, Expr
 from repro.relational.schema import Schema
@@ -71,6 +71,13 @@ class TableScan(PlanNode):
         alias: optional prefix qualifying output column names (needed when
             a query reads a table twice, or joins Wisconsin tables whose
             column names collide).
+        resume: recovery-only ``(start_page, page_count)``: scan exactly
+            ``page_count`` pages starting at ``start_page``, wrapping at
+            EOF -- the page order a consumer resumed mid-pass would have
+            seen (:mod:`repro.lineage`).  A resumed scan never attaches
+            to a shared circular scan (its frontier is private), and the
+            signature suffix keeps OSP and the result cache from pairing
+            it with full scans.
     """
 
     op_name = "scan"
@@ -82,6 +89,7 @@ class TableScan(PlanNode):
         project: Optional[Sequence[str]] = None,
         ordered: bool = False,
         alias: Optional[str] = None,
+        resume: Optional[Tuple[int, int]] = None,
     ):
         super().__init__([])
         self.table = table
@@ -89,6 +97,7 @@ class TableScan(PlanNode):
         self.project = list(project) if project is not None else None
         self.ordered = ordered
         self.alias = alias
+        self.resume = resume
 
     def output_schema(self, catalog) -> Schema:
         schema = catalog.table_schema(self.table)
@@ -102,7 +111,15 @@ class TableScan(PlanNode):
         pred = self.predicate.signature() if self.predicate else "true"
         proj = ",".join(self.project) if self.project else "*"
         order = "ordered" if self.ordered else "any"
-        return f"scan({self.table};{pred};{proj};{order})"
+        # Default signatures stay byte-identical to pre-resume builds
+        # (OSP sharing and the result cache compare these strings).
+        if self.resume is None:
+            return f"scan({self.table};{pred};{proj};{order})"
+        start, count = self.resume
+        return (
+            f"scan({self.table};{pred};{proj};{order};"
+            f"resume={start}+{count})"
+        )
 
 
 class IndexScan(PlanNode):

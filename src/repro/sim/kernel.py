@@ -315,8 +315,15 @@ class Process(Event):
 
         Takes the resume mode and payload directly instead of a closure:
         this runs once per process step and is the kernel's single hottest
-        call site, so it must not allocate.
+        call site, so it must not allocate.  ``sim.active_process`` names
+        this process while its generator runs (attribute writes only), so
+        code deep inside an ``execute()`` coroutine can learn which
+        process is driving it without threading the handle through every
+        call signature.
         """
+        sim = self.sim
+        prev = sim.active_process
+        sim.active_process = self
         try:
             if throwing:
                 target = self.generator.throw(payload)
@@ -336,6 +343,8 @@ class Process(Event):
             self.fail(exc)
             self.sim._register_crash(self, exc)
             return
+        finally:
+            sim.active_process = prev
         if not isinstance(target, Event):
             self.fail(TypeError(f"{self.name} yielded non-event {target!r}"))
             self.sim._register_crash(self, self.value)
@@ -386,6 +395,11 @@ class Simulator:
         self._use_now_queue = _FAST_PATHS
         self._crashes: list = []
         self.process_count = 0
+        #: The process whose generator is currently being stepped (None
+        #: between steps).  Lets coroutine-shaped engine entry points
+        #: (e.g. PushEngine.execute) learn their own driving process so
+        #: an abort can interrupt it.
+        self.active_process = None
         #: Observability hook; replaced by :class:`repro.obs.Tracer` when
         #: tracing is on.  The null tracer's hooks are allocation-free.
         self.tracer = NULL_TRACER
