@@ -340,8 +340,12 @@ class SortOp(Operator):
     def _spill(self, rows: List[tuple]):
         yield from self._sort_cost(len(rows))
         rows.sort(key=self._key, reverse=self.descending)
-        run = self.ctx.sm.create_temp_file(
-            self.schema.row_width, label="sortrun"
+        # Born tracked: an interrupt landing inside write_run must leave
+        # the run visible to the fault-teardown sweep.
+        run = self.ctx.track_temp(
+            self.ctx.sm.create_temp_file(
+                self.schema.row_width, label="sortrun"
+            )
         )
         yield from self.ctx.sm.write_run(run, rows)
         self._runs.append(run)
@@ -404,7 +408,7 @@ class SortOp(Operator):
         if self._sorted is not None:
             self._done = True
             for run in self._runs:
-                self.ctx.sm.drop_temp_file(run)
+                self.ctx.drop_temp(run)
             return self._sorted or None
         out: List[tuple] = []
         while len(out) < 1024:
@@ -412,7 +416,7 @@ class SortOp(Operator):
             if row is None:
                 self._done = True
                 for run in self._runs:
-                    self.ctx.sm.drop_temp_file(run)
+                    self.ctx.drop_temp(run)
                 break
             out.append(row)
         if out:
@@ -502,7 +506,10 @@ class HashJoinOp(Operator):
         yield from self.ctx.cpu(len(rows))
         parts = []
         for bucket in buckets:
-            part = self.ctx.sm.create_temp_file(64, label=label)
+            # Born tracked, so a fault mid-write leaves no orphan file.
+            part = self.ctx.track_temp(
+                self.ctx.sm.create_temp_file(64, label=label)
+            )
             yield from self.ctx.sm.write_run(part, bucket)
             parts.append(part)
         return parts
@@ -547,7 +554,7 @@ class HashJoinOp(Operator):
             except StopIteration:
                 self._done = True
                 for part in self._lparts + self._rparts:
-                    self.ctx.sm.drop_temp_file(part)
+                    self.ctx.drop_temp(part)
                 return None
             lrows = yield from self._read_part(self._lparts[p])
             rrows = yield from self._read_part(self._rparts[p])
@@ -653,8 +660,12 @@ class NLJoinOp(Operator):
 
     def _materialise_right(self):
         rows = yield from self.right.drain()
-        mat = self.ctx.sm.create_temp_file(
-            self.right.schema.row_width, label="nlj"
+        # Born tracked: a fault inside write_run must not orphan the
+        # materialisation (the teardown sweep drops tracked temps).
+        mat = self.ctx.track_temp(
+            self.ctx.sm.create_temp_file(
+                self.right.schema.row_width, label="nlj"
+            )
         )
         yield from self.ctx.sm.write_run(mat, rows)
         self._right_mat = mat
@@ -668,7 +679,7 @@ class NLJoinOp(Operator):
             batch = yield from self.left.next_batch()
             if batch is None:
                 self._done = True
-                self.ctx.sm.drop_temp_file(self._right_mat)
+                self.ctx.drop_temp(self._right_mat)
                 return None
             out: List[tuple] = []
             for block in range(self._right_mat.num_pages):

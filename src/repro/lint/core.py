@@ -1,23 +1,31 @@
 """Findings, the rule catalogue, and the lint driver.
 
 The driver parses every ``.py`` file under the given paths into a
-:class:`~repro.lint.scopes.ModuleInfo`, runs the four rule families
-over each module, runs the project-wide checks (which need every
-module's symbol table at once), drops findings suppressed by a
+:class:`~repro.lint.scopes.ModuleInfo`, runs the per-module rule
+families over each module, runs the project-wide checks (which need
+every module's symbol table at once -- the interprocedural IPR passes
+build their call graph here), drops findings suppressed by a
 ``# simlint: disable=RULE`` comment on the flagged line, and returns
 the rest sorted by location.
 
-Rule modules contribute two things: a ``RULES`` dict (rule id ->
-docstring, merged into :func:`rule_catalogue`) and ``check(module)`` /
-``check_project(modules)`` generators of :class:`Finding`.
+Rule modules contribute three things: a ``RULES`` dict (rule id ->
+one-line description, merged into :func:`rule_catalogue`), an optional
+``EXPLAIN`` dict of extended ``--explain`` text, and ``check(module)``
+/ ``check_project(modules)`` generators of :class:`Finding`.
+
+Parsing parallelises with ``jobs > 1`` (a spawn-safe process pool,
+clamped to ``cpu_count`` like the harness PoolRunner); analysis stays
+in-process -- the project passes need every module anyway, and parsing
+dominates cold-start time.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.lint import rules_det, rules_res, rules_trc, rules_yld
+from repro.lint import rules_det, rules_ipr, rules_res, rules_trc, rules_yld
 from repro.lint.findings import Finding, make_finding  # noqa: F401 (re-export)
 from repro.lint.scopes import ModuleInfo
 
@@ -28,8 +36,10 @@ PARSE_RULE = "E001"
 RULES: Dict[str, str] = {
     PARSE_RULE: "File could not be parsed as Python source.",
 }
-for _mod in (rules_det, rules_yld, rules_res, rules_trc):
+EXPLAIN: Dict[str, str] = {}
+for _mod in (rules_det, rules_yld, rules_res, rules_trc, rules_ipr):
     RULES.update(_mod.RULES)
+    EXPLAIN.update(getattr(_mod, "EXPLAIN", {}))
 
 
 def rule_catalogue() -> List[Tuple[str, str]]:
@@ -75,6 +85,56 @@ def load_module(path: str, root: str = ".") -> ModuleInfo:
     return ModuleInfo(path, _relpath(path, root), source)
 
 
+def _parse_one(args: Tuple[str, str]):
+    """Pool worker: parse one file; returns the module or the error
+    facts (SyntaxError itself does not pickle with position info)."""
+    path, root = args
+    try:
+        return ("ok", load_module(path, root))
+    except SyntaxError as exc:
+        return ("err", (path, exc.lineno or 1, (exc.offset or 1) - 1,
+                        str(exc.msg)))
+
+
+def collect_modules(
+    paths: Iterable[str], root: str = ".", jobs: int = 1
+) -> Tuple[List[ModuleInfo], List[Finding]]:
+    """Parse every Python file under *paths*; returns the modules plus
+    E001 findings for unparsable files.  ``jobs`` is clamped to the
+    machine's core count (requesting more buys nothing, same rule as
+    the harness PoolRunner)."""
+    files = iter_python_files(paths)
+    jobs = max(1, min(jobs, os.cpu_count() or 1))
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+
+    if jobs > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(
+                    _parse_one, [(f, root) for f in files], chunksize=8
+                )
+            )
+    else:
+        results = [_parse_one((f, root)) for f in files]
+
+    for status, payload in results:
+        if status == "ok":
+            modules.append(payload)
+        else:
+            path, line, col, msg = payload
+            findings.append(
+                Finding(
+                    path=_relpath(path, root),
+                    line=line,
+                    col=col,
+                    rule=PARSE_RULE,
+                    message=f"syntax error: {msg}",
+                )
+            )
+    return modules, findings
+
+
 # ---------------------------------------------------------------------------
 # The driver
 # ---------------------------------------------------------------------------
@@ -84,30 +144,15 @@ _MODULE_CHECKS = (
     rules_res.check,
     rules_trc.check,
 )
-_PROJECT_CHECKS = (rules_yld.check_project,)
+_PROJECT_CHECKS = (rules_yld.check_project, rules_ipr.check_project)
 
 
-def lint_paths(paths: Iterable[str], root: str = ".") -> List[Finding]:
-    """Analyze every Python file under *paths*; returns the surviving
-    findings (suppressions already applied), sorted by location."""
-    modules: List[ModuleInfo] = []
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            module = load_module(path, root)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    path=_relpath(path, root),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule=PARSE_RULE,
-                    message=f"syntax error: {exc.msg}",
-                )
-            )
-            continue
-        modules.append(module)
-
+def lint_modules(
+    modules: List[ModuleInfo], findings: Optional[List[Finding]] = None
+) -> List[Finding]:
+    """Run every check over already-parsed modules; returns surviving
+    findings (suppressions applied), sorted by location."""
+    findings = list(findings or [])
     for module in modules:
         for check in _MODULE_CHECKS:
             findings.extend(check(module))
@@ -124,3 +169,12 @@ def lint_paths(paths: Iterable[str], root: str = ".") -> List[Finding]:
             continue
         survivors.append(finding)
     return sorted(survivors, key=Finding.sort_key)
+
+
+def lint_paths(
+    paths: Iterable[str], root: str = ".", jobs: int = 1
+) -> List[Finding]:
+    """Analyze every Python file under *paths*; returns the surviving
+    findings (suppressions already applied), sorted by location."""
+    modules, parse_findings = collect_modules(paths, root, jobs)
+    return lint_modules(modules, parse_findings)

@@ -17,14 +17,21 @@ class Finding:
     col: int
     rule: str
     message: str
-    #: Stripped source text of the flagged line; baselines key on it so
-    #: unrelated edits shifting line numbers do not invalidate entries.
+    #: Stripped source text of the flagged line (v1 baselines keyed on
+    #: it; kept for migration and human context in reports).
     snippet: str = ""
+    #: Qualified name of the enclosing function, "" at module level.
+    #: v2 baselines key on it: a symbol survives edits that move it.
+    symbol: str = ""
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
     def baseline_key(self) -> Tuple[str, str, str]:
+        """The v2 fingerprint: rule + normalized path + symbol."""
+        return (self.path, self.rule, self.symbol)
+
+    def baseline_key_v1(self) -> Tuple[str, str, str]:
         return (self.path, self.rule, self.snippet)
 
     def to_dict(self) -> Dict[str, object]:
@@ -35,6 +42,7 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "snippet": self.snippet,
+            "symbol": self.symbol,
         }
 
     def render(self) -> str:
@@ -47,6 +55,13 @@ def make_finding(
     """A finding anchored at an AST node (the rule modules' helper)."""
     line = getattr(node, "lineno", 1)
     col = getattr(node, "col_offset", 0)
+    info = module.enclosing_function(node)
+    if info is None and hasattr(node, "name"):
+        # The node may itself be a def (purity findings anchor there).
+        for own in module.functions:
+            if own.node is node:
+                info = own
+                break
     return Finding(
         path=module.rel,
         line=line,
@@ -54,4 +69,5 @@ def make_finding(
         rule=rule,
         message=message,
         snippet=module.snippet(line),
+        symbol=info.qualname if info is not None else "",
     )

@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 export, so findings annotate PR diffs in code review.
+
+One run, one tool (``simlint``), one result per *new* finding (the
+baseline has already absorbed grandfathered ones -- SARIF consumers do
+their own de-duplication via ``partialFingerprints``, which we seed
+with the same ``rule + path + symbol`` key the v2 baseline uses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+
+def sarif_doc(
+    findings: List[Finding],
+    catalogue: List[Tuple[str, str]],
+) -> Dict[str, object]:
+    """The complete SARIF document for one lint run."""
+    rule_index = {rule: i for i, (rule, _doc) in enumerate(catalogue)}
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": doc},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule, doc in catalogue
+    ]
+    results = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "simlintFingerprint/v2": "::".join(finding.baseline_key()),
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }

@@ -112,7 +112,45 @@ def closure(graph: Dict[str, Set[str]], roots: Iterable[str]) -> List[str]:
     return sorted(seen)
 
 
+#: Lazily loaded ``REPRO_MODTABLE`` contents: abspath -> entry dict.
+#: ``None`` means "not loaded yet"; ``{}`` means "no usable table".
+_MODTABLE: "Dict[str, Dict[str, object]] | None" = None
+
+
+def _modtable() -> "Dict[str, Dict[str, object]]":
+    """The pre-hashed module table emitted by ``python -m repro.lint
+    --emit-module-table`` (shared via the ``REPRO_MODTABLE`` env var),
+    or an empty table when absent/unreadable -- the digest then simply
+    hashes everything itself."""
+    global _MODTABLE
+    if _MODTABLE is None:
+        _MODTABLE = {}
+        path = os.environ.get("REPRO_MODTABLE")
+        if path:
+            try:
+                import json
+
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                if isinstance(doc, dict) and doc.get("version") == 1:
+                    _MODTABLE = dict(doc.get("files", {}))
+            except (OSError, ValueError):
+                _MODTABLE = {}
+    return _MODTABLE
+
+
 def _file_hash(path: str) -> str:
+    entry = _modtable().get(os.path.abspath(path))
+    if entry is not None:
+        try:
+            st = os.stat(path)
+            if (
+                entry.get("size") == st.st_size
+                and entry.get("mtime_ns") == st.st_mtime_ns
+            ):
+                return str(entry["sha256"])
+        except OSError:
+            pass  # fall through to hashing
     with open(path, "rb") as fh:
         return hashlib.sha256(fh.read()).hexdigest()
 

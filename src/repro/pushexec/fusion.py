@@ -230,7 +230,10 @@ _code_cache: dict = {}
 def _evaluate(src: str, env: dict):
     code = _code_cache.get(src)
     if code is None:
-        code = _code_cache[src] = compile(src, "<fused>", "eval")
+        # Designated impurity: a deterministic memo -- the cached code
+        # object is a pure function of `src`, so cell results cannot
+        # depend on whether the cache was warm.
+        code = _code_cache[src] = compile(src, "<fused>", "eval")  # simlint: disable=IPR201
     return eval(code, env)
 
 

@@ -25,4 +25,7 @@ _ids = count(1)
 
 def next_stream() -> Tuple[str, int]:
     """A fresh scan-stream identity, never equal to any earlier one."""
-    return ("scan-stream", next(_ids))
+    # Designated impurity: the counter only mints process-unique ids;
+    # no simulated behavior branches on their numeric values, so cell
+    # outputs stay reproducible across warm/cold processes.
+    return ("scan-stream", next(_ids))  # simlint: disable=IPR201

@@ -27,7 +27,8 @@ FIXED = textwrap.dedent("""\
         yield lock.acquire()
         try:
             while True:
-                item = yield channel.get()
+                # Intentional hold-across-get: drain owns the channel.
+                item = yield channel.get()  # simlint: disable=IPR102
                 if item is None:
                     break
                 yield sim.timeout(1)
@@ -47,9 +48,11 @@ def test_reintroduced_bugs_are_reported_with_exact_positions(tmp_path):
     reported = {(f.rule, f.line) for f in findings}
     # Line 2: acquire whose release (line 8) is not in a finally.
     assert ("RES001", 2) in reported
+    # Line 4: blocking channel.get() with the lock held (IPR pass).
+    assert ("IPR102", 4) in reported
     # Line 7: sim.timeout(1) result dropped -- the wait never happens.
     assert ("YLD001", 7) in reported
-    assert len(findings) == 2, [f.render() for f in findings]
+    assert len(findings) == 3, [f.render() for f in findings]
 
 
 def test_fixed_module_is_clean(tmp_path):
