@@ -15,6 +15,8 @@ from repro.bench.timing import Bench
 FIG8_CLIENTS = (2, 4, 8)
 FIG8_INTERARRIVALS = (0, 20, 60, 100)
 FIG12_CLIENTS = (1, 2, 4, 8)
+FOLD_COUNTS = (4, 6)
+FOLD_SIMILARITIES = (0.0, 0.5, 1.0)
 #: Worker count of the parallel variants (also frozen: the par4 numbers
 #: only form a trajectory if the pool width never moves).
 PAR_JOBS = 4
@@ -109,6 +111,24 @@ def fig12_smoke_par4() -> None:
     _run_parallel(fig12_cells(SMOKE, client_counts=FIG12_CLIENTS))
 
 
+def fold_throughput() -> None:
+    """The generalized-sharing grid: folded and unfolded arms of every
+    (client count, similarity) config, serially.
+
+    Tracks the fold coordinator's end-to-end cost (subsumption tests,
+    residual filters, merged-aggregation banks) plus the unfolded
+    reference arms over time.  The fold-invariance and >=25%-gain
+    acceptance checks live in the harness payloads and the test suite;
+    this benchmark times the wall-clock of producing them.
+    """
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import fold_cells
+
+    _run_serial(
+        fold_cells(SMOKE, counts=FOLD_COUNTS, similarities=FOLD_SIMILARITIES)
+    )
+
+
 def recovery_smoke() -> None:
     """All crash-recovery scenarios at smoke scale, fault seed 1.
 
@@ -130,5 +150,6 @@ def suite() -> List[Bench]:
         Bench("macro.fig12_smoke_par4", fig12_smoke_par4, "s"),
         Bench("macro.fig8_pushed", fig8_pushed, "s"),
         Bench("macro.fig12_pushed", fig12_pushed, "s"),
+        Bench("macro.fold_throughput", fold_throughput, "s"),
         Bench("macro.recovery_smoke", recovery_smoke, "s"),
     ]

@@ -71,6 +71,12 @@ class PacketDispatcher:
         the client reads final results from."""
         root = self.build_subtree(query, query.plan, parent=None,
                                   parent_order_insensitive=True)
+        if self.engine.config.fold_enabled and self.engine.folds.try_fold(
+            query, root
+        ):
+            # The whole tree folded into another query's wide scan
+            # (merged aggregation); nothing of it runs itself.
+            return root.primary_output
         self.enqueue_tree(root)
         return root.primary_output
 

@@ -66,6 +66,61 @@ class AggEngine(MicroEngine):
         )
 
 
+class FoldBank:
+    """Merged-aggregation accumulators for one folded scan signature.
+
+    The fold group (repro.folding) feeds each wide-scan page's residual
+    rows through :meth:`add_batch` exactly once; members enrolling the
+    same aggregate (by :meth:`AggSpec.signature`) share one accumulator,
+    which is the "one aggregation, per-query projections" half of query
+    folding.  ``upto`` is the next canonical block this bank will consume
+    live; accumulators created later (``fresh``) are caught up from the
+    group's survivor ring over exactly ``ring[:upto]`` so a join landing
+    mid-page stays exactly-once.
+    """
+
+    __slots__ = ("residual", "upto", "_pairs", "_order")
+
+    def __init__(self, residual, frontier: int = 0):
+        #: ``survivors -> member scan rows`` (the folded scan's own
+        #: predicate + projection, shared by every member of this bank).
+        self.residual = residual
+        self.upto = frontier
+        self._pairs: Dict[str, tuple] = {}
+        self._order: List[str] = []
+
+    def enroll(self, specs, fns):
+        """Register one member's bound aggregates; dedupe by signature.
+
+        Returns ``(sigs, fresh)``: the member's own signature list (its
+        result row is ``result_for(sigs)``) and the newly created
+        ``(state, fn)`` pairs the caller must replay history into.
+        """
+        sigs: List[str] = []
+        fresh: List[tuple] = []
+        for spec, fn in zip(specs, fns):
+            sig = spec.signature()
+            sigs.append(sig)
+            if sig not in self._pairs:
+                pair = (spec.make_state(), fn)
+                self._pairs[sig] = pair
+                self._order.append(sig)
+                fresh.append(pair)
+        return sigs, fresh
+
+    def add_batch(self, rows) -> None:
+        pairs = [self._pairs[sig] for sig in self._order]
+        for row in rows:
+            for state, fn in pairs:
+                state.add(fn(row))
+
+    def result_for(self, sigs) -> tuple:
+        return tuple(self._pairs[sig][0].result() for sig in sigs)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
 class GroupByEngine(MicroEngine):
     overlap_class = "step"
 

@@ -49,6 +49,13 @@ class FScanEngine(MicroEngine):
 
     def serve(self, packet: Packet) -> Generator:
         packet.phase = "scan"
+        group = packet.artifacts.get("fold_group")
+        if group is not None:
+            # A fold-group host: run the group's widened scan in canonical
+            # page order (never circular -- skip-by-count redispatch of
+            # fold members relies on it).
+            yield from group.serve(packet)
+            return
         if (
             self.engine.osp_enabled
             and not packet.plan.ordered
@@ -59,6 +66,14 @@ class FScanEngine(MicroEngine):
             if attached:
                 return
         yield from self._standalone_scan(packet)
+
+    def _rescue_satellites(self, packet: Packet) -> None:
+        group = packet.artifacts.get("fold_group")
+        if group is not None:
+            # Record the unfolds and close the group before the generic
+            # sweep redispatches the members into private re-executions.
+            group.on_host_failure()
+        super()._rescue_satellites(packet)
 
     # ------------------------------------------------------------------
     def _standalone_scan(self, packet: Packet) -> Generator:

@@ -22,6 +22,7 @@ from repro.engine.engines import build_engines
 from repro.engine.packets import PacketState, QueryContext
 from repro.engine.result_cache import ResultCache
 from repro.faults.errors import FaultError, QueryAborted
+from repro.folding import FoldCoordinator
 from repro.sim.errors import Interrupted
 from repro.osp.deadlock import DeadlockDetector
 from repro.osp.stats import OspStats
@@ -67,6 +68,13 @@ class QPipeConfig:
     #: Sequential repeats of an identical query return cached rows;
     #: concurrent repeats share through OSP instead (section 2.3).
     result_cache_rows: int = 0
+    #: Generalized sharing (repro.folding): fold *similar* concurrent
+    #: queries -- predicate-subsumed scans ride one widened scan with
+    #: per-query residual filters, and Aggregate(TableScan) queries merge
+    #: into one aggregation pass.  Off by default: folding changes which
+    #: packets run (group hosts scan standalone instead of circular), so
+    #: the paper-reproduction figures keep the original OSP-only paths.
+    fold_enabled: bool = False
     name: str = "qpipe"
 
 
@@ -88,6 +96,7 @@ class QPipeEngine:
         }
         self.engines = build_engines(self, self.config.workers)
         self.dispatcher = PacketDispatcher(self)
+        self.folds = FoldCoordinator(self)
         self.deadlock_detector = DeadlockDetector(
             self, period=self.config.deadlock_period
         )
@@ -103,6 +112,10 @@ class QPipeEngine:
     @property
     def name(self) -> str:
         return self.config.name
+
+    @property
+    def fold_stats(self):
+        return self.folds.stats
 
     # ------------------------------------------------------------------
     # Buffer registry (deadlock detection)

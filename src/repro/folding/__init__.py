@@ -1,0 +1,13 @@
+"""Generalized sharing: fold similar concurrent queries.
+
+Where OSP shares *identical* in-progress work (section 4.3), this layer
+folds queries that are merely *similar*: predicate-subsumed scans ride
+one widened scan with per-query residual filters, and concurrent
+``Aggregate(TableScan)`` queries merge into a single aggregation pass
+producing per-query projections.  See DESIGN.md §15.
+"""
+
+from repro.folding.coordinator import FoldCoordinator, FoldGroup
+from repro.folding.stats import FoldStats
+
+__all__ = ["FoldCoordinator", "FoldGroup", "FoldStats"]

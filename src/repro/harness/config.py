@@ -96,6 +96,10 @@ CLIENT_SEED_BASE = 100
 #: ``CHAOS_QUERY_SEED_BASE + i``.
 CHAOS_QUERY_SEED_BASE = 1000
 
+#: The fold experiment's workload draw (aggregate flavours in the
+#: similar-query cohort).
+FOLD_QUERY_SEED = 11
+
 
 def with_overrides(scale: Scale, **kwargs) -> Scale:
     return replace(scale, **kwargs)

@@ -31,6 +31,7 @@ from repro.harness.config import (
     CHAOS_QUERY_SEED_BASE,
     CLIENT_SEED_BASE,
     FIG_QUERY_SEED,
+    FOLD_QUERY_SEED,
     SHARED_PARAM_SEED,
     SMOKE,
     Scale,
@@ -39,7 +40,7 @@ from repro.harness.config import (
 )
 from repro.harness.report import Series, render_breakdown
 from repro.parallel.cells import CellSpec, cell, coords, fn_key, run_cells_serial
-from repro.relational.expressions import AggSpec, Col
+from repro.relational.expressions import AggSpec, Between, Col
 from repro.relational.plans import Aggregate, GroupBy, HashJoin, TableScan
 from repro.workloads.clients import ClosedLoopClient, mixed_tpch_factory, run_workload
 from repro.workloads.tpch import queries as Q
@@ -1063,6 +1064,180 @@ def force_engine(specs: Sequence[CellSpec], backend: str) -> List[CellSpec]:
 
 
 # ---------------------------------------------------------------------------
+# Generalized sharing: fold similar (not identical) concurrent queries
+# ---------------------------------------------------------------------------
+#: Arrival stagger (seconds) between the fold workload's queries.  Late
+#: arrivals are where folding wins: an OSP circular scan admits them
+#: mid-file and makes them wait for the wrap-around pass, while a fold
+#: group replays the missed prefix from its survivor ring for free.
+FOLD_STAGGER = 5.0
+
+_FOLD_AGGS = (
+    AggSpec("sum", Col("unique2"), "s"),
+    AggSpec("count", Col("unique1"), "c"),
+)
+
+
+def _fold_workload(count: int, similarity: float, rng: random.Random):
+    """*count* queries over ``big1``; ``round(count * similarity)`` are
+    fold-eligible.
+
+    The similar cohort is a predicate-subsumption chain -- ``Between``
+    ranges shrinking with arrival order, so the first (widest) query
+    hosts and every later one is subsumed -- mixing whole-query
+    ``Aggregate`` folds with ``GroupBy``-rooted queries whose *scan*
+    folds as a member.  The dissimilar remainder runs order-sensitive
+    scans of the same ranges: ineligible for folding (and for circular
+    sharing), identical in both arms.
+    """
+    n_similar = int(round(count * similarity))
+    plans = []
+    for i in range(count):
+        hi = 1400 - 100 * i
+        pred = Between(Col("unique1"), 0, hi)
+        aggs = [AggSpec(rng.choice(("sum", "min", "max")),
+                        Col("unique2"), "a"), _FOLD_AGGS[1]]
+        if i >= n_similar:
+            plans.append(
+                Aggregate(TableScan("big1", pred, ordered=True), aggs)
+            )
+        elif i % 3 == 2:
+            plans.append(
+                GroupBy(TableScan("big1", pred), ["tenpercent"], aggs)
+            )
+        else:
+            plans.append(Aggregate(TableScan("big1", pred), aggs))
+    return plans
+
+
+@cell
+def fold_cell(spec: CellSpec) -> Dict[str, Any]:
+    """Makespan + sharing counters + result digest for one fold config.
+
+    The digest covers every query's full result rows; equal digests for
+    the folded and unfolded arms of a config prove byte-identical
+    per-query results (the fold-invariance acceptance check).
+    """
+    c = spec.coord
+    host, sm, engine = build_wisconsin_system(spec.scale, "qpipe")
+    engine.config.fold_enabled = c["folded"]
+    rng = random.Random(FOLD_QUERY_SEED)
+    plans = _fold_workload(c["count"], c["similarity"], rng)
+    delays = [i * c["stagger"] for i in range(c["count"])]
+    results = _run_staggered(host, engine, plans, delays)
+    digest = hashlib.sha256(
+        repr([r.rows for r in results]).encode()
+    ).hexdigest()
+    fold = engine.fold_stats
+    osp = engine.osp_stats
+    return {
+        "makespan": round(_makespan(results), 1),
+        "digest": digest,
+        "fold_groups": fold.groups,
+        "fold_members": fold.folded,
+        "fold_rate": round(fold.fold_rate(), 2),
+        "pages_saved": fold.pages_saved,
+        "residual_rows": fold.residual_rows,
+        "banks": fold.banks,
+        "unfolds": fold.unfolds,
+        "osp_attaches": osp.total_attaches,
+        "shared_pages": osp.shared_page_deliveries,
+    }
+
+
+def fold_cells(
+    scale: Scale = SMOKE,
+    counts: Sequence[int] = (4, 6),
+    similarities: Sequence[float] = (0.0, 0.5, 1.0),
+    stagger: float = FOLD_STAGGER,
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "fold",
+            fn_key(fold_cell), scale,
+            coords(count=count, similarity=sim, stagger=stagger,
+                   folded=folded),
+            seeds=(("FOLD_QUERY_SEED", FOLD_QUERY_SEED),),
+        )
+        for count in counts
+        for sim in similarities
+        for folded in (False, True)
+    ]
+
+
+def fold_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Tuple[Series, Series, List[str]]:
+    """(throughput series, sharing-metrics table, invariance lines)."""
+    series = Series(
+        title="Generalized sharing: makespan, folded vs unfolded",
+        x_label="workload",
+        y_label="makespan (s)",
+    )
+    sharing = Series(
+        title="Sharing metrics, folded runs (OSP + fold, one table)",
+        x_label="workload",
+        y_label="count",
+    )
+    arms: Dict[Tuple, Dict[bool, Any]] = {}
+    for spec in specs:
+        c = spec.coord
+        arms.setdefault(
+            (c["count"], c["similarity"]), {}
+        )[c["folded"]] = payloads[spec]
+    lines = []
+    for (count, sim), pair in arms.items():
+        label = f"{count}q sim={sim:.1f}"
+        folded, unfolded = pair.get(True), pair.get(False)
+        if unfolded is not None:
+            series.add_point("unfolded (s)", label, unfolded["makespan"])
+        if folded is not None:
+            series.add_point("folded (s)", label, folded["makespan"])
+            for metric in (
+                "fold_groups", "fold_members", "fold_rate", "pages_saved",
+                "residual_rows", "banks", "unfolds", "osp_attaches",
+                "shared_pages",
+            ):
+                sharing.add_point(
+                    metric.replace("_", " "), label, folded[metric]
+                )
+        if folded is None or unfolded is None:
+            continue
+        gain = 100.0 * (
+            unfolded["makespan"] - folded["makespan"]
+        ) / unfolded["makespan"] if unfolded["makespan"] else 0.0
+        series.add_point("gain (%)", label, round(gain, 1))
+        same = folded["digest"] == unfolded["digest"]
+        lines.append(
+            f"  {label}: results identical: {'yes' if same else 'NO'}"
+        )
+    return series, sharing, lines
+
+
+def _render_fold(specs, payloads) -> str:
+    series, sharing, lines = fold_merge(specs, payloads)
+    return "\n\n".join(
+        [
+            series.render(),
+            sharing.render(),
+            "Fold invariance (per-query rows, folded vs unfolded):\n"
+            + "\n".join(lines),
+        ]
+    )
+
+
+def fold_sharing(
+    scale: Scale = SMOKE,
+    counts: Sequence[int] = (4, 6),
+    similarities: Sequence[float] = (0.0, 0.5, 1.0),
+    results: Optional[Payloads] = None,
+) -> Tuple[Series, Series, List[str]]:
+    """The fold experiment, serial in-process (tests and repro.bench)."""
+    specs = fold_cells(scale, counts, similarities)
+    return fold_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
 # The figure catalogue the CLI runs (cells + render, per figure)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -1119,6 +1294,7 @@ FIGURES: Dict[str, Figure] = {
         Figure("fig13", fig13_cells,
                lambda s, p: fig13_merge(s, p).render()),
         Figure("overhead", osp_overhead_cells, _render_overhead),
+        Figure("fold", fold_cells, _render_fold),
         Figure("ablation-policies", ablation_policies_cells,
                lambda s, p: ablation_policies_merge(s, p).render()),
         Figure("ablation-replay", ablation_replay_cells,

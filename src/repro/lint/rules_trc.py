@@ -52,6 +52,7 @@ _FAMILY_METHODS: Dict[str, str] = {
     "lock": "lock",
     "fault": "fault",
     "lineage": "lineage",
+    "fold": "fold",
     "proc": "proc",
 }
 

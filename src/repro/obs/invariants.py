@@ -189,6 +189,17 @@ class InvariantChecker:
                         f"sort re-emission attach of {pid} without a "
                         f"materialised result"
                     )
+            elif mechanism in ("fold-scan", "fold-agg"):
+                host_pages = event.get("host_pages", 0)
+                subsumed = event.get("subsumed", False)
+                ring_ok = event.get("ring_ok", False)
+                if host_pages != 0 and not (subsumed and ring_ok):
+                    self._flag(
+                        f"fold attach of {pid} outside the WoP: joined at "
+                        f"page {host_pages} without subsumption "
+                        f"(subsumed={subsumed}) or an intact survivor ring "
+                        f"(ring_ok={ring_ok})"
+                    )
             elif mechanism == "mj-split":
                 saved = event.get("saved", 0)
                 extra = event.get("extra", 0)

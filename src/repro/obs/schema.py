@@ -100,6 +100,26 @@ _event("osp.mj_split_rejected", ("packet", "host", "saved", "extra"),
 _event("osp.deadlock_resolved", ("buffer", "level", "cycle_size"),
        "The deadlock detector materialised one buffer to break a cycle.")
 
+# -- generalized sharing (query folding) ------------------------------------
+_event("fold.group_start", ("table", "host"),
+       "A fold group opened around a scan packet; later similar queries "
+       "may ride its widened scan.")
+_event("fold.widen", ("table", "host", "terms"),
+       "A member's predicate was unioned into the group's wide scan "
+       "predicate before any page was filtered.")
+_event("fold.reject", ("table", "query", "reason"),
+       "A candidate query failed the subsumption test or the "
+       "window-of-opportunity cost rule and dispatched normally.")
+_event("fold.seal", ("table", "host", "reason"),
+       "The group stopped admitting members (survivor ring overflowed); "
+       "existing members are unaffected.")
+_event("fold.unfold", ("packet", "host", "reason"),
+       "A fold member fell back to private re-execution (host crashed, "
+       "was cancelled, or hit its deadline mid-fold).")
+_event("fold.complete", ("table", "host", "members", "pages"),
+       "The group's single wide scan finished; every member received its "
+       "residual-filtered rows or merged aggregate exactly once.")
+
 # -- buffer pool ------------------------------------------------------------
 _POOL = ("file", "block")
 _event("pool.hit", _POOL, "Page found in the pool (or a scan ring).")

@@ -59,6 +59,7 @@ _OSP_NAMES = _family_names("osp")
 _LOCK_NAMES = _family_names("lock")
 _FAULT_NAMES = _family_names("fault")
 _LINEAGE_NAMES = _family_names("lineage")
+_FOLD_NAMES = _family_names("fold")
 
 
 class NullTracer:
@@ -111,6 +112,10 @@ class NullTracer:
 
     # -- write-ahead lineage / mid-query recovery ----------------------------
     def lineage(self, etype: str, **fields) -> None:
+        pass
+
+    # -- generalized sharing (query folding) ----------------------------------
+    def fold(self, etype: str, **fields) -> None:
         pass
 
     # -- simulation kernel ---------------------------------------------------
@@ -251,6 +256,15 @@ class Tracer(NullTracer):
         name = _LINEAGE_NAMES.get(etype)
         if name is None:
             raise UnknownTraceEvent(f"lineage.{etype}")
+        record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
+        record.update(fields)
+        self.events.append(record)
+
+    # -- generalized sharing (query folding) ----------------------------------
+    def fold(self, etype: str, **fields) -> None:
+        name = _FOLD_NAMES.get(etype)
+        if name is None:
+            raise UnknownTraceEvent(f"fold.{etype}")
         record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
         record.update(fields)
         self.events.append(record)

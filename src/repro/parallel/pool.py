@@ -108,6 +108,11 @@ class PoolRunner:
             # are test fakes scripting crash scenarios: they need the
             # requested worker count verbatim, not the machine's.
             self.jobs = min(self.jobs, os.cpu_count() or 1)
+        #: Real executors also adapt per run() to the cell count -- a
+        #: sweep with fewer cells than workers never pays idle spawns,
+        #: and an effective width of 1 bypasses the pool entirely so the
+        #: parallel fabric can never lose to the serial path.
+        self._adaptive = executor_factory is None
         self.cache = cache
         self.trace = trace
         self.retries = retries
@@ -166,7 +171,12 @@ class PoolRunner:
             pending.append(spec)
         if not pending:
             return results
-        if self.jobs == 1:
+        jobs = self.jobs
+        if self._adaptive:
+            # effective jobs = min(requested, cpu_count, cell count);
+            # the cpu_count half was clamped in the constructor.
+            jobs = min(jobs, len(pending))
+        if jobs <= 1:
             self._run_serial(pending, results)
         else:
             self._run_pool(pending, results)

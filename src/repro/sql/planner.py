@@ -822,3 +822,228 @@ def plan_pipelines(
 
     visit(plan_node)
     return choices
+
+
+# ---------------------------------------------------------------------------
+# Normalized predicate forms + the subsumption lattice (repro.folding)
+# ---------------------------------------------------------------------------
+#
+# ``predicate_implies(p, q)`` is a *sound, conservative* implication
+# test: True only when every row satisfying ``p`` must satisfy ``q``
+# (False means "could not prove it", never "disproved").  Conjunctions
+# of single-column comparisons against constants, BETWEEN, and IN-lists
+# normalize into per-column domains (an interval plus an optional finite
+# value set); anything else falls back to exact signature matching,
+# which keeps the test safe for arbitrary expressions.  The fold
+# coordinator uses the lattice to decide whether a late query may ride
+# an in-flight widened scan with only a residual filter.
+
+_CMP_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+class _Domain:
+    """The values one column may take under a conjunctive predicate."""
+
+    __slots__ = ("lo", "lo_incl", "hi", "hi_incl", "allowed")
+
+    def __init__(self):
+        self.lo = None         # None: unbounded below
+        self.lo_incl = True
+        self.hi = None         # None: unbounded above
+        self.hi_incl = True
+        self.allowed = None    # frozenset of values, None: no finite bound
+
+    # -- narrowing (intersection with one atom's constraint) ----------------
+    def clamp_lo(self, value, inclusive: bool) -> None:
+        if self.lo is None or value > self.lo or (
+            value == self.lo and not inclusive
+        ):
+            self.lo = value
+            self.lo_incl = inclusive
+
+    def clamp_hi(self, value, inclusive: bool) -> None:
+        if self.hi is None or value < self.hi or (
+            value == self.hi and not inclusive
+        ):
+            self.hi = value
+            self.hi_incl = inclusive
+
+    def restrict(self, values) -> None:
+        values = frozenset(values)
+        self.allowed = (
+            values if self.allowed is None else self.allowed & values
+        )
+
+
+def _pred_conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for term in expr.terms:
+            out.extend(_pred_conjuncts(term))
+        return out
+    return [expr]
+
+
+def _atom_constraint(atom: Expr):
+    """``(column, kind, payload)`` for a supported atomic predicate.
+
+    ``kind`` is ``"lo"``/``"hi"`` (payload ``(value, inclusive)``),
+    ``"between"`` (payload ``(lo, hi)``), or ``"in"`` (payload a value
+    set).  None means the atom has no per-column normal form.
+    """
+    if isinstance(atom, Between) and isinstance(atom.expr, Col):
+        return atom.expr.name, "between", (atom.lo, atom.hi)
+    if isinstance(atom, InList) and isinstance(atom.expr, Col):
+        return atom.expr.name, "in", atom.values
+    if isinstance(atom, Cmp):
+        op, left, right = atom.op, atom.left, atom.right
+        if isinstance(left, Const) and isinstance(right, Col):
+            op, left, right = _CMP_FLIP[op], right, left
+        if not (isinstance(left, Col) and isinstance(right, Const)):
+            return None
+        value = right.value
+        if op == "==":
+            return left.name, "in", frozenset((value,))
+        if op == "<":
+            return left.name, "hi", (value, False)
+        if op == "<=":
+            return left.name, "hi", (value, True)
+        if op == ">":
+            return left.name, "lo", (value, False)
+        if op == ">=":
+            return left.name, "lo", (value, True)
+    return None
+
+
+def _apply_constraint(domain: _Domain, kind: str, payload) -> None:
+    if kind == "lo":
+        domain.clamp_lo(*payload)
+    elif kind == "hi":
+        domain.clamp_hi(*payload)
+    elif kind == "between":
+        domain.clamp_lo(payload[0], True)
+        domain.clamp_hi(payload[1], True)
+    else:
+        domain.restrict(payload)
+
+
+def normalize_predicate(expr: Expr) -> Optional[Dict[str, _Domain]]:
+    """Per-column :class:`_Domain` map for a conjunctive predicate.
+
+    Unsupported conjuncts are skipped, so the returned domains describe
+    a *superset* of the rows the predicate accepts -- exactly the safe
+    direction for the left-hand side of :func:`predicate_implies`.
+    Returns None when a constraint is unrepresentable (the constants do
+    not form a total order).
+    """
+    domains: Dict[str, _Domain] = {}
+    for atom in _pred_conjuncts(expr):
+        spec = _atom_constraint(atom)
+        if spec is None:
+            continue
+        column, kind, payload = spec
+        domain = domains.setdefault(column, _Domain())
+        try:
+            _apply_constraint(domain, kind, payload)
+        except TypeError:
+            return None
+    return domains
+
+
+def _value_in(domain: _Domain, value) -> bool:
+    if domain.allowed is not None and value not in domain.allowed:
+        return False
+    if domain.lo is not None:
+        if value < domain.lo or (value == domain.lo and not domain.lo_incl):
+            return False
+    if domain.hi is not None:
+        if value > domain.hi or (value == domain.hi and not domain.hi_incl):
+            return False
+    return True
+
+
+def _domain_within(inner: _Domain, outer: _Domain) -> bool:
+    """Whether every value of *inner* lies inside *outer* (conservative)."""
+    if inner.allowed is not None:
+        return all(_value_in(outer, v) for v in inner.allowed)
+    if outer.allowed is not None:
+        return False  # an interval cannot prove finite-set membership
+    if outer.lo is not None:
+        if inner.lo is None or inner.lo < outer.lo:
+            return False
+        if inner.lo == outer.lo and inner.lo_incl and not outer.lo_incl:
+            return False
+    if outer.hi is not None:
+        if inner.hi is None or inner.hi > outer.hi:
+            return False
+        if inner.hi == outer.hi and inner.hi_incl and not outer.hi_incl:
+            return False
+    return True
+
+
+def _atom_implied(p_domains, p_signatures, q_atom: Expr) -> bool:
+    if q_atom.signature() in p_signatures:
+        return True  # syntactically present among p's conjuncts
+    spec = _atom_constraint(q_atom)
+    if spec is None:
+        return False
+    column, kind, payload = spec
+    inner = p_domains.get(column)
+    if inner is None:
+        return False  # p does not constrain this column at all
+    outer = _Domain()
+    try:
+        _apply_constraint(outer, kind, payload)
+        return _domain_within(inner, outer)
+    except TypeError:
+        return False
+
+
+def predicate_implies(p: Optional[Expr], q: Optional[Expr]) -> bool:
+    """Sound implication: True only when ``p`` entails ``q``.
+
+    None is the match-everything predicate.  A False answer means
+    "could not prove" -- callers must treat it as "do not fold", never
+    as a disproof.
+    """
+    if q is None:
+        return True
+    if p is None:
+        return False
+    if p.signature() == q.signature():
+        return True
+    if isinstance(p, Or):
+        return all(predicate_implies(term, q) for term in p.terms)
+    if isinstance(q, And):
+        return all(predicate_implies(p, term) for term in q.terms)
+    if isinstance(q, Or):
+        return any(predicate_implies(p, term) for term in q.terms)
+    p_domains = normalize_predicate(p)
+    if p_domains is None:
+        return False
+    p_signatures = {atom.signature() for atom in _pred_conjuncts(p)}
+    return _atom_implied(p_domains, p_signatures, q)
+
+
+def fold_union(p: Optional[Expr], q: Optional[Expr]) -> Optional[Expr]:
+    """The widened predicate covering both *p* and *q* (None: match all).
+
+    Prefers the wider of the two when one subsumes the other, so a chain
+    of nested predicates widens to a single term instead of a deep Or.
+    """
+    if p is None or q is None:
+        return None
+    if predicate_implies(q, p):
+        return p
+    if predicate_implies(p, q):
+        return q
+    if isinstance(p, Or):
+        return Or(*p.terms, q)
+    return Or(p, q)
+
+
+def predicate_selectivity(expr: Optional[Expr]) -> float:
+    """Estimated selectivity of a scan predicate (1.0 when absent)."""
+    if expr is None:
+        return 1.0
+    return _expr_selectivity(expr)

@@ -1,0 +1,142 @@
+"""Unit tests for the predicate subsumption lattice (repro.sql.planner).
+
+The fold coordinator admits a mid-scan member only when
+``predicate_implies(member, wide)`` proves the member's rows are a
+subset of what the widened scan already emits -- so soundness here is a
+correctness property of folding, not just a planner nicety.
+"""
+
+from repro.relational.expressions import And, Between, Col, InList, Like, Or
+from repro.sql.planner import (
+    fold_union,
+    normalize_predicate,
+    predicate_implies,
+    predicate_selectivity,
+)
+
+
+def between(col, lo, hi):
+    return Between(Col(col), lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# predicate_implies
+# ---------------------------------------------------------------------------
+def test_none_is_match_everything():
+    assert predicate_implies(between("a", 0, 10), None)
+    assert predicate_implies(None, None)
+    assert not predicate_implies(None, between("a", 0, 10))
+
+
+def test_identical_signatures_imply():
+    p = between("unique1", 0, 100)
+    q = between("unique1", 0, 100)
+    assert predicate_implies(p, q)
+
+
+def test_nested_ranges_imply_wider():
+    assert predicate_implies(between("a", 10, 20), between("a", 0, 100))
+    assert not predicate_implies(between("a", 0, 100), between("a", 10, 20))
+    # Partial overlap proves nothing either way.
+    assert not predicate_implies(between("a", 0, 50), between("a", 25, 75))
+
+
+def test_comparison_atoms():
+    assert predicate_implies(Col("a") < 5, Col("a") < 10)
+    assert not predicate_implies(Col("a") < 10, Col("a") < 5)
+    # Strictness at the shared bound: a < 5 entails a <= 5, not vice versa.
+    assert predicate_implies(Col("a") < 5, Col("a") <= 5)
+    assert not predicate_implies(Col("a") <= 5, Col("a") < 5)
+    assert predicate_implies(Col("a") > 7, Col("a") >= 7)
+    # Constant-on-the-left comparisons are flipped, not misread.
+    flipped = 10 > Col("a")  # noqa: SIM300 -- the flip is the point
+    assert predicate_implies(flipped, Col("a") < 11)
+
+
+def test_equality_and_in_lists():
+    assert predicate_implies(Col("a") == 3, InList(Col("a"), [1, 3, 5]))
+    assert not predicate_implies(Col("a") == 4, InList(Col("a"), [1, 3, 5]))
+    assert predicate_implies(InList(Col("a"), [1, 3]), between("a", 0, 10))
+    assert not predicate_implies(between("a", 0, 10), InList(Col("a"), [1, 3]))
+
+
+def test_conjunctions():
+    p = And(between("a", 10, 20), between("b", 0, 5))
+    assert predicate_implies(p, between("a", 0, 100))
+    assert predicate_implies(p, And(between("a", 0, 100), between("b", 0, 9)))
+    # The conjunct order must not matter.
+    assert predicate_implies(
+        And(between("b", 0, 5), between("a", 10, 20)),
+        And(between("a", 0, 100), between("b", 0, 9)),
+    )
+    assert not predicate_implies(between("a", 10, 20), p)
+
+
+def test_disjunctions():
+    p = Or(between("a", 0, 10), between("a", 50, 60))
+    assert predicate_implies(p, between("a", 0, 100))
+    assert predicate_implies(between("a", 2, 4), p)
+    assert not predicate_implies(between("a", 0, 100), p)
+
+
+def test_different_columns_never_imply():
+    assert not predicate_implies(between("a", 0, 10), between("b", 0, 100))
+
+
+def test_unsupported_atoms_fail_closed():
+    # LIKE has no domain form: implication must refuse, not guess.
+    fuzzy = Like(Col("name"), "%x%")
+    assert not predicate_implies(fuzzy, between("a", 0, 10))
+    assert predicate_implies(fuzzy, None)
+    # As a *conjunct of p* it only narrows p, so it is sound to ignore.
+    assert predicate_implies(And(fuzzy, between("a", 2, 4)),
+                             between("a", 0, 10))
+    # As a conjunct of q it must block the proof.
+    assert not predicate_implies(between("a", 2, 4),
+                                 And(fuzzy, between("a", 0, 10)))
+
+
+# ---------------------------------------------------------------------------
+# normalize_predicate / fold_union / selectivity
+# ---------------------------------------------------------------------------
+def test_normalize_intersects_per_column():
+    domains = normalize_predicate(
+        And(between("a", 0, 100), Col("a") <= 50, Col("b") == 7)
+    )
+    assert domains is not None
+    assert domains["a"].lo == 0 and domains["a"].hi == 50
+    assert domains["b"].allowed == {7}
+
+
+def test_fold_union_prefers_the_wider_side():
+    wide = between("a", 0, 100)
+    narrow = between("a", 10, 20)
+    assert fold_union(wide, narrow) is wide
+    assert fold_union(narrow, wide) is wide
+    assert fold_union(wide, None) is None
+    disjoint = fold_union(between("a", 0, 10), between("a", 50, 60))
+    assert isinstance(disjoint, Or) and len(disjoint.terms) == 2
+    # Widening again flattens instead of nesting Or-of-Or.
+    wider = fold_union(disjoint, between("a", 80, 90))
+    assert isinstance(wider, Or) and len(wider.terms) == 3
+
+
+def test_fold_union_stays_a_superset():
+    """Rows matching either input always match the union (sampled)."""
+    p, q = between("a", 0, 10), between("a", 5, 60)
+    union = fold_union(p, q)
+    from repro.relational.schema import Column, Schema
+
+    schema = Schema([Column("a", "int")])
+    bound = {e.signature(): e.bind(schema) for e in (p, q, union)}
+    for v in range(-5, 70):
+        row = (v,)
+        if bound[p.signature()](row) or bound[q.signature()](row):
+            assert bound[union.signature()](row)
+
+
+def test_selectivity_monotone_under_narrowing():
+    assert predicate_selectivity(None) == 1.0
+    wide = predicate_selectivity(between("unique1", 0, 1000))
+    narrow = predicate_selectivity(between("unique1", 0, 100))
+    assert 0.0 < narrow <= wide <= 1.0

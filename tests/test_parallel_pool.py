@@ -310,3 +310,21 @@ def test_fake_executors_keep_the_requested_worker_count(monkeypatch):
     assert runner.jobs == 2
     assert factory.executors  # the fake pool actually ran
     assert {r.payload for r in results.values()} == {2, 3}
+
+
+def test_adaptive_width_bypasses_pool_for_fewer_cells(monkeypatch):
+    """Effective width is min(requested, cpu_count, cell count): a
+    one-cell run on a many-core machine must never build a process pool,
+    and its payload must match the serial reference exactly."""
+    import repro.parallel.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 8)
+    with PoolRunner(jobs=4) as runner:
+        assert runner.jobs == 4  # the cpu clamp leaves 4-of-8 alone
+        results = runner.run([ok_spec(7)])
+        assert runner._executor is None  # no pool for a width-1 run
+    with PoolRunner(jobs=1) as serial_runner:
+        serial = serial_runner.run([ok_spec(7)])
+    assert [r.payload for r in results.values()] == [
+        r.payload for r in serial.values()
+    ]
