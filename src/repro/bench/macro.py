@@ -129,6 +129,21 @@ def fold_throughput() -> None:
     )
 
 
+def scaleout_4h() -> None:
+    """The sharded scan workload at 1 and 4 hosts, smoke scale.
+
+    Times the whole distributed path end to end -- cluster build, range
+    partitioning, partition-parallel fragments, exchange shipping, and
+    the coordinator merge -- for the host counts the speedup acceptance
+    gate compares.  The byte-identity and speedup verdicts themselves
+    are asserted in the test suite; this tracks their production cost.
+    """
+    from repro.harness.config import SMOKE
+    from repro.harness.experiments import scaleout
+
+    scaleout(SMOKE, host_counts=(1, 4), workloads=("scan",))
+
+
 def recovery_smoke() -> None:
     """All crash-recovery scenarios at smoke scale, fault seed 1.
 
@@ -151,5 +166,6 @@ def suite() -> List[Bench]:
         Bench("macro.fig8_pushed", fig8_pushed, "s"),
         Bench("macro.fig12_pushed", fig12_pushed, "s"),
         Bench("macro.fold_throughput", fold_throughput, "s"),
+        Bench("macro.scaleout_4h", scaleout_4h, "s"),
         Bench("macro.recovery_smoke", recovery_smoke, "s"),
     ]

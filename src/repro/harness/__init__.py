@@ -31,6 +31,7 @@ from repro.harness.experiments import (
     fig12_throughput,
     fig13_think_time,
     osp_overhead,
+    scaleout,
     ablation_circular_wraparound,
     ablation_late_activation,
     ablation_replacement_policies,
@@ -66,4 +67,5 @@ __all__ = [
     "fig8_scan_sharing",
     "fig9_ordered_scans",
     "osp_overhead",
+    "scaleout",
 ]

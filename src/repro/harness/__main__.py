@@ -73,6 +73,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--hosts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap the scaleout figure's host sweep at N hosts (the "
+            "1-host baseline always runs; other figures are unaffected)"
+        ),
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         default=False,
@@ -159,6 +169,11 @@ def main(argv=None) -> int:
                 specs = substitute_engine(
                     FIGURES[name].cells(scale), args.engine
                 )
+                if args.hosts is not None:
+                    specs = [
+                        s for s in specs
+                        if s.coord.get("hosts", 1) <= args.hosts
+                    ]
                 results = runner.run(specs)
                 payloads = {s: r.payload for s, r in results.items()}
                 print(FIGURES[name].render(specs, payloads))

@@ -58,6 +58,13 @@ class Scale:
     #: Ramp-up delay between client starts in throughput experiments
     #: (clients connect over a few seconds, not in an atomic barrier).
     client_stagger: float = 7.0
+    #: Sharded deployments: network link bandwidth (bytes/s) and one-way
+    #: latency (s).  The defaults model GbE-class links -- orders of
+    #: magnitude faster than the deliberately slow paper-era disks, so
+    #: scan scale-out is disk-bound, but every exchanged byte is still
+    #: queued and charged through the NIC model.
+    net_bandwidth: float = 125_000_000.0
+    net_latency: float = 0.0005
 
 
 #: Tiny preset for unit tests and pytest-benchmark runs.
@@ -211,6 +218,84 @@ def build_wisconsin_system(
                    seed=scale.seed)
     engine = make_engine(sm, scale, system, backend=backend)
     return host, sm, engine
+
+
+def build_sharded_wisconsin_system(
+    scale: Scale,
+    hosts: int,
+    system: str = "qpipe",
+    backend: str = "packets",
+    prefer_shuffle: bool = True,
+):
+    """An N-host sharded Wisconsin deployment plus its executor.
+
+    BIG1 and BIG2 range-partition across the hosts (contiguous slices of
+    the loaded row order -- the byte-identity-preserving scheme); SMALL
+    replicates everywhere.  Every host gets the same disk calibration as
+    the single-host Wisconsin builder (a *full* BIG scan takes ~40 s),
+    so an N-way partitioned scan takes ~40/N s per shard and the figure
+    measures genuine scale-out, not recalibrated disks.
+
+    Returns ``(cluster, sharded_system, executor)``; with ``hosts=1``
+    the partition metadata marks every table unpartitioned and the
+    executor runs everything locally -- the single-host baseline.
+    """
+    from repro.hw.host import Cluster, ClusterConfig
+    from repro.hw.net import NetConfig
+    from repro.shard import ShardedExecutor, ShardedSystem
+    from repro.storage.page import rows_per_page
+    from repro.workloads.wisconsin.gen import (
+        WISCONSIN_SCHEMA,
+        WisconsinScale,
+        generate_wisconsin,
+    )
+
+    big_pages = max(
+        1, scale.wisconsin_big_rows // rows_per_page(WISCONSIN_SCHEMA.row_width)
+    )
+    transfer = 40.0 / big_pages
+    cluster = Cluster(
+        ClusterConfig(
+            hosts=hosts,
+            host=HostConfig(
+                cores=scale.cores,
+                disk_transfer_time=transfer,
+                disk_seek_time=transfer * scale.seek_factor,
+                seed=scale.seed,
+            ),
+            net=NetConfig(
+                latency=scale.net_latency, bandwidth=scale.net_bandwidth
+            ),
+        )
+    )
+    if _TRACING["enabled"]:
+        from repro.obs import Tracer
+
+        _TRACING["tracers"].append(Tracer(cluster.sim))  # type: ignore[union-attr]
+
+    def make_sm(host: Host) -> StorageManager:
+        return StorageManager(
+            host,
+            buffer_pages=scale.buffer_pages,
+            policy="arc" if system == "dbmsx" else "lru",
+            scan_window_shared=(system == "dbmsx"),
+            scan_ring_fraction=0.375 if system == "dbmsx" else 0.125,
+        )
+
+    sharded = ShardedSystem(
+        cluster,
+        make_sm,
+        lambda sm: make_engine(sm, scale, system, backend=backend),
+    )
+    tables = generate_wisconsin(
+        WisconsinScale(big_rows=scale.wisconsin_big_rows), seed=scale.seed
+    )
+    sharded.create_table("big1", WISCONSIN_SCHEMA, tables["big1"])
+    sharded.create_table("big2", WISCONSIN_SCHEMA, tables["big2"])
+    sharded.create_replicated_table("small", WISCONSIN_SCHEMA, tables["small"])
+    return cluster, sharded, ShardedExecutor(
+        sharded, prefer_shuffle=prefer_shuffle
+    )
 
 
 def make_engine(

@@ -1238,6 +1238,237 @@ def fold_sharing(
 
 
 # ---------------------------------------------------------------------------
+# Scale-out: sharded multi-host speedup (DESIGN.md section 16)
+# ---------------------------------------------------------------------------
+#: Host counts the scale-out figure sweeps.
+SCALEOUT_HOSTS = (1, 2, 4, 8)
+
+#: The 4-host speedup the scan workload must clear (CI-gated verdict).
+SCALEOUT_TARGET_4H = 2.5
+
+#: Arrival stagger between the scale-out workload's queries, kept small
+#: relative to a ~40 s scan so the serial ramp does not cap speedup.
+SCALEOUT_STAGGER = 1.0
+
+
+def _scaleout_plans(workload: str) -> List:
+    """The frozen query set per workload (fixed parameters: the figure
+    compares host counts, so every count must run identical queries).
+
+    ``scan``: four selective scan-aggregates over BIG1/BIG2 -- each
+    reads a whole table but ships only ~2%% of its rows, so the sweep
+    measures partitioned-scan bandwidth (plus per-shard OSP sharing of
+    the two BIG1 scans).  ``join``: one replicated-build hash join
+    (gather), one grouped aggregate (shuffle), one partitioned-x-
+    partitioned join (broadcast) -- exchange-heavy by construction.
+    """
+    from repro.relational.plans import Limit, Project, Sort
+
+    if workload == "scan":
+        aggs = [AggSpec("sum", Col("unique2")), AggSpec("count", None)]
+        return [
+            Aggregate(
+                TableScan(
+                    table, predicate=Between(Col("onepercent"), lo, lo + 1)
+                ),
+                aggs,
+            )
+            for table, lo in (
+                ("big1", 0), ("big1", 40), ("big2", 20), ("big2", 60),
+            )
+        ]
+    if workload == "join":
+        return [
+            Sort(
+                HashJoin(
+                    TableScan("small", project=["unique1", "unique2"]),
+                    TableScan(
+                        "big1",
+                        predicate=Between(Col("unique1"), 0, 400),
+                        project=["unique1", "ten"],
+                        alias="b",
+                    ),
+                    "unique1",
+                    "b.unique1",
+                ),
+                ["unique2"],
+            ),
+            GroupBy(
+                TableScan("big2"),
+                ["ten"],
+                [AggSpec("sum", Col("unique1")), AggSpec("count", None)],
+            ),
+            Limit(
+                HashJoin(
+                    TableScan(
+                        "big2",
+                        predicate=Between(Col("unique1"), 0, 100),
+                        project=["unique1", "four"],
+                    ),
+                    # The probe scan's order flows through the join to the
+                    # LIMIT, so it must be an *ordered* scan: OSP's
+                    # circular sharing may otherwise rotate the delivery
+                    # order under concurrency (on ANY host count).
+                    TableScan(
+                        "big1", project=["unique1", "twenty"], alias="b",
+                        ordered=True,
+                    ),
+                    "unique1",
+                    "b.unique1",
+                ),
+                2000,
+            ),
+        ]
+    raise ValueError(f"unknown scale-out workload {workload!r}")
+
+
+@cell
+def scaleout_cell(spec: CellSpec) -> Dict:
+    """Run one (hosts, workload) point; returns makespan, per-query
+    result digests (the byte-identity evidence), and traffic/utilization
+    telemetry."""
+    from repro.harness.config import build_sharded_wisconsin_system
+
+    c = spec.coord
+    cluster, system, executor = build_sharded_wisconsin_system(
+        spec.scale,
+        c["hosts"],
+        system=c.get("system", "qpipe"),
+        backend=c.get("engine", "packets"),
+    )
+    plans = _scaleout_plans(c["workload"])
+    procs = []
+
+    def client(plan, delay):
+        yield cluster.sim.timeout(delay)
+        result = yield from executor.execute(plan)
+        return result
+
+    for i, plan in enumerate(plans):
+        procs.append(
+            cluster.sim.spawn(
+                client(plan, i * SCALEOUT_STAGGER), name=f"client{i}"
+            )
+        )
+    cluster.sim.run_until_done(procs)
+    results = [p.value for p in procs]
+    net = system.network.stats
+    return {
+        "makespan": round(_makespan(results), 3),
+        "digests": [
+            hashlib.sha256(repr(r.rows).encode("utf-8")).hexdigest()
+            for r in results
+        ],
+        "rows": [len(r.rows) for r in results],
+        "net_bytes": net.bytes_on_wire,
+        "net_msgs": net.messages,
+        "disk_util": [round(s.host.disk.utilization(), 3) for s in system],
+        "strategies": dict(sorted(executor.stats.strategies.items())),
+    }
+
+
+def scaleout_cells(
+    scale: Scale = SMOKE,
+    host_counts: Sequence[int] = SCALEOUT_HOSTS,
+    workloads: Sequence[str] = ("scan", "join"),
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            "scaleout", fn_key(scaleout_cell), scale,
+            coords(hosts=hosts, workload=workload, system="qpipe"),
+        )
+        for workload in workloads
+        for hosts in host_counts
+    ]
+
+
+def scaleout_merge(
+    specs: Sequence[CellSpec], payloads: Payloads
+) -> Tuple[Dict[str, Series], List[str]]:
+    """Per-workload speedup series plus the CI verdict lines.
+
+    Speedup is against the same workload's 1-host cell; the byte-
+    identity verdict compares every host count's per-query digests to
+    the 1-host run's.  Verdict lines are stable strings the CI smoke
+    leg greps, ordered by workload then host count.
+    """
+    series: Dict[str, Series] = {}
+    base: Dict[str, Dict] = {}
+    for spec in specs:
+        c = spec.coord
+        if c["hosts"] == 1:
+            base[c["workload"]] = payloads[spec]
+    verdicts: List[str] = []
+    seen_identity: Dict[str, bool] = {}
+    for spec in specs:
+        c = spec.coord
+        workload, hosts = c["workload"], c["hosts"]
+        payload = payloads[spec]
+        out = series.get(workload)
+        if out is None:
+            out = series[workload] = Series(
+                title=(
+                    f"Scale-out ({workload} workload): makespan and "
+                    "speedup vs 1 host"
+                ),
+                x_label="hosts",
+                y_label="makespan (s)",
+            )
+        out.add_point("makespan", hosts, payload["makespan"])
+        ref = base.get(workload)
+        if ref is not None:
+            out.add_point(
+                "speedup", hosts,
+                round(ref["makespan"] / max(payload["makespan"], 1e-9), 2),
+            )
+            identical = payload["digests"] == ref["digests"]
+            seen_identity[workload] = (
+                seen_identity.get(workload, True) and identical
+            )
+        out.add_point("net MB", hosts, round(payload["net_bytes"] / 1e6, 3))
+    for workload in series:
+        ok = seen_identity.get(workload, False)
+        verdicts.append(
+            f"scaleout byte-identity ({workload}): "
+            + ("PASS" if ok else "FAIL")
+            + " -- per-query results "
+            + ("identical across host counts" if ok else "DIVERGED")
+        )
+    for spec in specs:
+        c = spec.coord
+        if c["workload"] == "scan" and c["hosts"] == 4:
+            ref = base.get("scan")
+            if ref is None:
+                continue
+            speedup = ref["makespan"] / max(payloads[spec]["makespan"], 1e-9)
+            ok = speedup >= SCALEOUT_TARGET_4H
+            verdicts.append(
+                f"scaleout 4-host speedup (scan): {speedup:.2f}x "
+                f"(target >= {SCALEOUT_TARGET_4H}): "
+                + ("PASS" if ok else "FAIL")
+            )
+    return series, verdicts
+
+
+def _render_scaleout(specs, payloads) -> str:
+    series, verdicts = scaleout_merge(specs, payloads)
+    blocks = [series[w].render() for w in sorted(series)]
+    blocks.append("\n".join(verdicts))
+    return "\n\n".join(blocks)
+
+
+def scaleout(
+    scale: Scale = SMOKE,
+    host_counts: Sequence[int] = SCALEOUT_HOSTS,
+    workloads: Sequence[str] = ("scan", "join"),
+    results: Optional[Payloads] = None,
+) -> Tuple[Dict[str, Series], List[str]]:
+    """The scale-out experiment, serial in-process (tests, repro.bench)."""
+    specs = scaleout_cells(scale, host_counts, workloads)
+    return scaleout_merge(specs, _payloads(specs, results))
+
+
+# ---------------------------------------------------------------------------
 # The figure catalogue the CLI runs (cells + render, per figure)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -1303,6 +1534,7 @@ FIGURES: Dict[str, Figure] = {
                lambda s, p: ablation_wraparound_merge(s, p).render()),
         Figure("ablation-late-activation", ablation_late_activation_cells,
                lambda s, p: ablation_late_activation_merge(s, p).render()),
+        Figure("scaleout", scaleout_cells, _render_scaleout),
     )
 }
 

@@ -14,6 +14,19 @@ the paper's "each client is given 128MB of memory" setup.
 
 from repro.hw.cpu import CPU
 from repro.hw.disk import Disk, DiskStats
-from repro.hw.host import Host, HostConfig
+from repro.hw.host import Cluster, ClusterConfig, Host, HostConfig
+from repro.hw.net import NIC, NetConfig, NetStats, Network
 
-__all__ = ["CPU", "Disk", "DiskStats", "Host", "HostConfig"]
+__all__ = [
+    "CPU",
+    "Cluster",
+    "ClusterConfig",
+    "Disk",
+    "DiskStats",
+    "Host",
+    "HostConfig",
+    "NIC",
+    "NetConfig",
+    "NetStats",
+    "Network",
+]

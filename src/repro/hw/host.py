@@ -1,12 +1,23 @@
-"""The host bundle: one simulator plus its hardware models and cost knobs."""
+"""The host bundle: one simulator plus its hardware models and cost knobs.
+
+A single-host experiment builds one :class:`Host`, which owns a private
+:class:`~repro.sim.kernel.Simulator`.  A scale-out experiment builds a
+:class:`Cluster`: N hosts sharing **one** simulator (one virtual clock),
+each with its own disk, CPU cores, and RNG stream, linked by a
+:class:`~repro.hw.net.Network`.  Sharing the clock is what makes
+distributed runs exactly as deterministic as single-host ones -- there
+is no cross-host time skew to model away.
+"""
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
 
 from repro.hw.cpu import CPU
 from repro.hw.disk import Disk
+from repro.hw.net import NetConfig, Network
 from repro.sim import Simulator
 
 
@@ -37,21 +48,83 @@ class HostConfig:
 class Host:
     """One simulated machine: clock, disk, CPU, and a seeded RNG.
 
-    Every experiment builds exactly one Host, then builds a storage
-    manager and an engine on top of it.
+    A standalone experiment builds exactly one Host (which creates its
+    own Simulator), then builds a storage manager and an engine on top
+    of it.  Cluster members are built with a shared ``sim`` so every
+    host's disk and CPU queue on one clock, and a ``name`` that labels
+    the per-host disk resource and the host's NIC on the network.
     """
 
     config: HostConfig = field(default_factory=HostConfig)
+    #: Shared simulator for cluster members; None builds a private one.
+    sim: Optional[Simulator] = None
+    #: Diagnostic label; cluster builders pass ``host0``, ``host1``, ...
+    name: str = "host"
 
     def __post_init__(self):
-        self.sim = Simulator()
+        if self.sim is None:
+            self.sim = Simulator()
+        disk_name = "disk" if self.name == "host" else f"{self.name}.disk"
         self.disk = Disk(
             self.sim,
             transfer_time=self.config.disk_transfer_time,
             seek_time=self.config.disk_seek_time,
+            name=disk_name,
         )
         self.cpu = CPU(self.sim, cores=self.config.cores)
         self.rng = random.Random(self.config.seed)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, until=None) -> float:
+        return self.sim.run(until=until)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """An N-host symmetric cluster: identical hosts, one link fabric."""
+
+    hosts: int = 2
+    host: HostConfig = field(default_factory=HostConfig)
+    net: NetConfig = field(default_factory=NetConfig)
+
+    def __post_init__(self):
+        if self.hosts < 1:
+            raise ValueError(f"cluster needs >= 1 host: {self.hosts}")
+
+
+class Cluster:
+    """N hosts on one shared virtual clock, linked by a Network.
+
+    Host ``i`` is named ``host{i}`` and seeded ``config.host.seed + i``
+    so per-host RNG streams are distinct but reproducible.  Each host
+    owns its own disk and CPU; callers layer one storage manager (buffer
+    pool, WAL, locks) and engine per host on top
+    (:class:`repro.shard.topology.ShardedSystem` does exactly that).
+    """
+
+    def __init__(self, config: ClusterConfig = ClusterConfig()):
+        self.config = config
+        self.sim = Simulator()
+        self.hosts: List[Host] = [
+            Host(
+                replace(config.host, seed=config.host.seed + i),
+                sim=self.sim,
+                name=f"host{i}",
+            )
+            for i in range(config.hosts)
+        ]
+        self.network = Network(
+            self.sim, config.net, tuple(h.name for h in self.hosts)
+        )
+
+    def __len__(self):
+        return len(self.hosts)
+
+    def host(self, i: int) -> Host:
+        return self.hosts[i]
 
     @property
     def now(self) -> float:

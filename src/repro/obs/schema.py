@@ -181,6 +181,37 @@ _event("lineage.restart", ("query", "attempt", "reason"),
        "A crashed query had no usable durable frontier and restarted "
        "from scratch.")
 
+# -- network fabric (sharded multi-host execution) --------------------------
+_NET = ("src", "dst", "bytes", "frames", "tag")
+_event("net.send", _NET,
+       "A framed message finished serializing onto the source host's "
+       "NIC send queue (bytes are whole-frame wire bytes).")
+_event("net.recv", _NET,
+       "A framed message completed store-and-forward delivery through "
+       "the destination host's NIC receive queue.")
+
+# -- exchange operators (gather / shuffle / broadcast edges) -----------------
+_event("exchange.start", ("query", "kind", "shards"),
+       "An exchange edge opened between plan fragments: rows will move "
+       "between shards (kind: gather | shuffle | broadcast).")
+_event("exchange.batch", ("query", "kind", "src", "dst", "rows", "bytes"),
+       "One columnar batch of rows crossed a shard boundary (bytes are "
+       "payload bytes before frame rounding; loopback batches are free).")
+_event("exchange.done", ("query", "kind", "rows", "bytes"),
+       "The exchange edge drained: total rows moved and payload bytes.")
+
+# -- sharded query execution -------------------------------------------------
+_event("shard.query_start", ("query", "strategy", "shards"),
+       "A distributed plan started (strategy: local | gather | shuffle "
+       "| broadcast).")
+_event("shard.fragment_start", ("query", "shard", "op"),
+       "One shard began executing its local plan fragment.")
+_event("shard.fragment_done", ("query", "shard", "rows"),
+       "A shard's local fragment finished with this many output rows.")
+_event("shard.query_done", ("query", "strategy", "rows"),
+       "The coordinator assembled the final result of a distributed "
+       "plan.")
+
 # -- simulation kernel ------------------------------------------------------
 _event("proc.spawn", ("name",), "A simulation process was spawned.")
 _event("proc.interrupt", ("name",), "A simulation process was interrupted.")

@@ -60,6 +60,9 @@ _LOCK_NAMES = _family_names("lock")
 _FAULT_NAMES = _family_names("fault")
 _LINEAGE_NAMES = _family_names("lineage")
 _FOLD_NAMES = _family_names("fold")
+_NET_NAMES = _family_names("net")
+_EXCHANGE_NAMES = _family_names("exchange")
+_SHARD_NAMES = _family_names("shard")
 
 
 class NullTracer:
@@ -116,6 +119,18 @@ class NullTracer:
 
     # -- generalized sharing (query folding) ----------------------------------
     def fold(self, etype: str, **fields) -> None:
+        pass
+
+    # -- network fabric -------------------------------------------------------
+    def net(self, etype: str, **fields) -> None:
+        pass
+
+    # -- exchange operators ---------------------------------------------------
+    def exchange(self, etype: str, **fields) -> None:
+        pass
+
+    # -- sharded query execution ----------------------------------------------
+    def shard(self, etype: str, **fields) -> None:
         pass
 
     # -- simulation kernel ---------------------------------------------------
@@ -265,6 +280,33 @@ class Tracer(NullTracer):
         name = _FOLD_NAMES.get(etype)
         if name is None:
             raise UnknownTraceEvent(f"fold.{etype}")
+        record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
+        record.update(fields)
+        self.events.append(record)
+
+    # -- network fabric -------------------------------------------------------
+    def net(self, etype: str, **fields) -> None:
+        name = _NET_NAMES.get(etype)
+        if name is None:
+            raise UnknownTraceEvent(f"net.{etype}")
+        record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
+        record.update(fields)
+        self.events.append(record)
+
+    # -- exchange operators ---------------------------------------------------
+    def exchange(self, etype: str, **fields) -> None:
+        name = _EXCHANGE_NAMES.get(etype)
+        if name is None:
+            raise UnknownTraceEvent(f"exchange.{etype}")
+        record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
+        record.update(fields)
+        self.events.append(record)
+
+    # -- sharded query execution ----------------------------------------------
+    def shard(self, etype: str, **fields) -> None:
+        name = _SHARD_NAMES.get(etype)
+        if name is None:
+            raise UnknownTraceEvent(f"shard.{etype}")
         record: Dict[str, Any] = {"ts": self.sim.now, "type": name}
         record.update(fields)
         self.events.append(record)

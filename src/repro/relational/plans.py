@@ -465,6 +465,81 @@ class NLJoin(PlanNode):
 
 
 # ---------------------------------------------------------------------------
+# Exchange operators (sharded execution; DESIGN.md section 16)
+# ---------------------------------------------------------------------------
+class Exchange(PlanNode):
+    """Base of the data-movement operators that glue plan fragments
+    together across shard boundaries.
+
+    An exchange never changes row contents -- only which host rows live
+    on -- so its output schema is its child's.  The distributed planner
+    (:func:`repro.sql.planner.plan_distributed`) inserts these nodes to
+    annotate where columnar batches cross the network; the sharded
+    executor (:mod:`repro.shard`) implements their data movement over
+    the :class:`~repro.hw.net.Network` model.
+    """
+
+    op_name = "exchange"
+
+    def __init__(self, child: PlanNode):
+        super().__init__([child])
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def output_schema(self, catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+
+class Gather(Exchange):
+    """N per-shard streams -> the coordinator, strictly in shard order.
+
+    Shard 0's rows arrive first, then shard 1's, and so on -- regardless
+    of which shard finishes first.  Over range partitions (contiguous
+    slices of stored row order) this reproduces the single-host row
+    order exactly, which is what keeps order-sensitive float
+    accumulations byte-identical to the unsharded run.
+    """
+
+    op_name = "gather"
+
+    def _own_signature(self, catalog) -> str:
+        return "gather()"
+
+
+class Broadcast(Exchange):
+    """Every shard's child rows -> every other shard (join build sides).
+
+    Receivers assemble the full relation by concatenating per-source
+    streams in shard order, i.e. in global stored order.
+    """
+
+    op_name = "broadcast"
+
+    def _own_signature(self, catalog) -> str:
+        return "broadcast()"
+
+
+class Shuffle(Exchange):
+    """Hash re-partition: rows route to shard ``stable_hash(key) % N``.
+
+    Receivers process per-source streams in shard order, so each
+    bucket's stream is the global-order subsequence of rows hashing to
+    it -- deterministic and engine-independent.
+    """
+
+    op_name = "shuffle"
+
+    def __init__(self, child: PlanNode, key: str):
+        super().__init__(child)
+        self.key = key
+
+    def _own_signature(self, catalog) -> str:
+        return f"shuffle({self.key})"
+
+
+# ---------------------------------------------------------------------------
 # Updates (routed to the no-OSP update micro-engine; section 4.3.4)
 # ---------------------------------------------------------------------------
 class InsertRows(PlanNode):

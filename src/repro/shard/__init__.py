@@ -1,0 +1,37 @@
+"""Sharded multi-host execution (DESIGN.md section 16).
+
+QPipe's paper is a single-node design; this package scales it out the
+classic shared-nothing way: N hosts (each with its own disk, buffer
+pool, and engine) joined by a modeled network fabric
+(:mod:`repro.hw.net`), with exchange operators moving rows between
+them.  The split of a plan into per-shard fragments, exchange edges,
+and a coordinator suffix is computed by
+:func:`repro.sql.planner.plan_distributed`; everything here executes
+that recipe deterministically:
+
+* :mod:`repro.shard.topology` -- :class:`ShardedSystem`: the hosts,
+  their storage managers and engines, and partitioned table loading.
+* :mod:`repro.shard.exchange` -- framed row shipment over the network
+  model (the ``exchange.*`` trace events).
+* :mod:`repro.shard.merge` -- the coordinator-side evaluator that
+  applies the suffix operators with exactly the reference operators'
+  arithmetic, so sharded results are byte-identical to one host.
+* :mod:`repro.shard.executor` -- :class:`ShardedExecutor`: drives the
+  gather / shuffle / broadcast strategies end to end.
+"""
+
+from repro.shard.exchange import ship
+from repro.shard.executor import ShardedExecutor, ShardStats
+from repro.shard.merge import apply_suffix, group_rows, hash_join_rows
+from repro.shard.topology import Shard, ShardedSystem
+
+__all__ = [
+    "Shard",
+    "ShardStats",
+    "ShardedExecutor",
+    "ShardedSystem",
+    "apply_suffix",
+    "group_rows",
+    "hash_join_rows",
+    "ship",
+]

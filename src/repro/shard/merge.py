@@ -1,0 +1,159 @@
+"""Coordinator-side evaluation of the suffix operators.
+
+The distributed planner peels global operators (aggregation, sort,
+limit...) off the per-shard fragment; after the gather, someone has to
+apply them to the assembled stream.  Routing the stream back through a
+full engine would work but double-charges scans; instead this module
+applies each suffix operator directly, using the *same arithmetic* as
+the reference operators in :mod:`repro.baseline.operators`:
+
+* aggregates accumulate through the same ``AggState`` objects in input
+  order (float accumulation is order-sensitive -- this is where byte
+  identity is won or lost);
+* GroupBy emits ``sorted(groups.items())``;
+* hash joins build left-to-right with ``setdefault`` and emit in probe
+  order (``lrow + rrow``), matching the in-memory join path;
+* every operator charges the host CPU with the reference operator's
+  tuple counts and factors.
+
+All evaluators are coroutines bound to an
+:class:`~repro.baseline.operators.ExecContext`, so the virtual-time
+cost lands on whichever host runs the merge (the coordinator for
+suffixes, the owning shard for shuffle-stage grouping).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List, Sequence
+
+from repro.baseline.operators import ExecContext
+from repro.relational.expressions import bind_aggregates
+from repro.relational.plans import (
+    Aggregate,
+    Distinct,
+    Filter,
+    GroupBy,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Sort,
+)
+from repro.relational.schema import Schema
+
+
+def group_rows(
+    plan: GroupBy,
+    rows: Sequence[tuple],
+    schema: Schema,
+    ctx: ExecContext,
+) -> Generator:
+    """Coroutine: the reference GroupBy over an in-memory row stream."""
+    specs, fns = bind_aggregates(plan.aggs, schema)
+    group = schema.projector(plan.group_cols)
+    yield from ctx.cpu(len(rows) * max(1, len(specs)))
+    groups: Dict[tuple, list] = {}
+    for row in rows:
+        key = group(row)
+        states = groups.get(key)
+        if states is None:
+            states = [spec.make_state() for spec in specs]
+            groups[key] = states
+        for state, fn in zip(states, fns):
+            state.add(fn(row))
+    return [
+        key + tuple(state.result() for state in states)
+        for key, states in sorted(groups.items())
+    ]
+
+
+def hash_join_rows(
+    plan: HashJoin,
+    lrows: Sequence[tuple],
+    rrows: Sequence[tuple],
+    lschema: Schema,
+    rschema: Schema,
+    ctx: ExecContext,
+) -> Generator:
+    """Coroutine: the reference in-memory hash join over row streams.
+
+    Build order is *lrows* order, probe order is *rrows* order --
+    callers must assemble both in global (shard-order) sequence for the
+    output to match the single-host join byte for byte.
+    """
+    lkey = lschema.projector([plan.left_key])
+    rkey = rschema.projector([plan.right_key])
+    yield from ctx.cpu(len(lrows))
+    table: Dict[tuple, List[tuple]] = {}
+    for row in lrows:
+        table.setdefault(lkey(row), []).append(row)
+    yield from ctx.cpu(len(rrows))
+    out: List[tuple] = []
+    for rrow in rrows:
+        for lrow in table.get(rkey(rrow), ()):
+            out.append(lrow + rrow)
+    return out
+
+
+def _apply_one(
+    op: PlanNode, rows: List[tuple], catalog, ctx: ExecContext
+) -> Generator:
+    schema = op.children[0].output_schema(catalog)
+    if isinstance(op, Filter):
+        yield from ctx.cpu(len(rows))
+        pred = op.predicate.bind(schema)
+        return [row for row in rows if pred(row)]
+    if isinstance(op, Project):
+        yield from ctx.cpu(len(rows))
+        if op.exprs is None:
+            fn = schema.projector(op.names)
+        else:
+            bound = [e.bind(schema) for e in op.exprs]
+            fn = lambda row: tuple(f(row) for f in bound)  # noqa: E731
+        return [fn(row) for row in rows]
+    if isinstance(op, Sort):
+        n = len(rows)
+        comparisons = n * max(1.0, math.log2(max(2, n)))
+        yield from ctx.cpu(
+            int(comparisons), factor=ctx.host.config.sort_cpu_factor
+        )
+        out = list(rows)
+        out.sort(key=schema.projector(op.keys), reverse=op.descending)
+        return out
+    if isinstance(op, Aggregate):
+        specs, fns = bind_aggregates(op.aggs, schema)
+        states = [spec.make_state() for spec in specs]
+        yield from ctx.cpu(len(rows) * len(states))
+        for row in rows:
+            for state, fn in zip(states, fns):
+                state.add(fn(row))
+        return [tuple(state.result() for state in states)]
+    if isinstance(op, GroupBy):
+        out = yield from group_rows(op, rows, schema, ctx)
+        return out
+    if isinstance(op, Limit):
+        return list(rows[op.offset:op.offset + op.count])
+    if isinstance(op, Distinct):
+        yield from ctx.cpu(len(rows))
+        seen = set()
+        out = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+    raise TypeError(f"no merge evaluator for {type(op).__name__}")
+
+
+def apply_suffix(
+    suffix: Sequence[PlanNode],
+    rows: List[tuple],
+    catalog,
+    ctx: ExecContext,
+) -> Generator:
+    """Coroutine: apply the peeled operators (bottom-up order) to the
+    assembled stream, charging *ctx*'s host for the work."""
+    for op in suffix:
+        rows = yield from _apply_one(op, rows, catalog, ctx)
+    return rows

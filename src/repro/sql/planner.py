@@ -35,9 +35,12 @@ from repro.relational.expressions import (
 from repro.relational.plans import (
     Aggregate,
     AntiJoin,
+    Broadcast,
     DeleteRows,
     Distinct,
+    Exchange,
     Filter,
+    Gather,
     GroupBy,
     HashJoin,
     IndexScan,
@@ -49,9 +52,11 @@ from repro.relational.plans import (
     PlanNode,
     Project,
     SemiJoin,
+    Shuffle,
     Sort,
     TableScan,
     UpdateRows,
+    walk_plan,
 )
 from repro.sql.lexer import SqlError
 from repro.sql.parser import (
@@ -1047,3 +1052,257 @@ def predicate_selectivity(expr: Optional[Expr]) -> float:
     if expr is None:
         return 1.0
     return _expr_selectivity(expr)
+
+
+# ---------------------------------------------------------------------------
+# Distributed planning (sharded execution; DESIGN.md section 16)
+# ---------------------------------------------------------------------------
+#
+# ``plan_distributed`` splits a logical plan into (a) one *fragment*
+# that every shard runs against its local partitions, (b) an exchange
+# edge moving the fragment outputs, and (c) a *suffix* of unary
+# operators the coordinator applies to the assembled stream.  The split
+# is chosen so the final rows are **byte-identical** to the single-host
+# run: float accumulation is order-sensitive, so the analysis only
+# declares a subtree shard-safe when concatenating its per-shard outputs
+# in shard order reproduces the single-host row order (range partitions
+# are contiguous slices of stored order, which is what makes this hold;
+# hash partitions stay deterministic but permute row order, see
+# repro.storage.partition).
+
+#: Per-join "order-driving" side: which input's row order the join's
+#: output order follows in the reference operators
+#: (repro.baseline.operators).  The partitioned table must live on this
+#: side; the other side must be replicated (every shard joins its slice
+#: of the driver against the complete other relation).
+_JOIN_DRIVER = {
+    HashJoin: 1,        # build left, probe right: probe order drives
+    NLJoin: 0,          # outer loop over the left input
+    SemiJoin: 0,        # left rows filtered by the right key set
+    AntiJoin: 0,
+    LeftOuterJoin: 0,   # left rows probe the right build table
+}
+
+#: Unary operators with *global* semantics: correct only over the whole
+#: input, so they peel off the fragment into the coordinator suffix.
+_SUFFIX_OPS = (Aggregate, GroupBy, Sort, Limit, Distinct, Filter, Project)
+
+
+class UnshardablePlan(ValueError):
+    """No supported fragment/exchange/suffix split exists for the plan."""
+
+
+@dataclass(frozen=True)
+class DistributedPlan:
+    """One distributed execution recipe (see :func:`plan_distributed`).
+
+    ``strategy`` is one of:
+
+    * ``local``     -- no partitioned tables: the coordinator's own
+      engine runs the whole plan (every shard holds all referenced
+      tables in full).
+    * ``gather``    -- every shard runs ``fragment``; outputs stream to
+      the coordinator strictly in shard order; ``suffix`` applies there.
+    * ``shuffle``   -- every shard runs ``fragment``, hash-partitions
+      its output rows on ``shuffle_key``, and ships each bucket to its
+      owning shard; shards aggregate their buckets (``groupby``), the
+      disjoint group rows gather to the coordinator, and ``suffix``
+      applies above.
+    * ``broadcast`` -- a partitioned-x-partitioned hash join:
+      ``build_fragment`` runs per shard and broadcasts everywhere; each
+      shard builds the complete hash table (per-source streams
+      assembled in shard order = global build order) and probes its
+      local ``fragment``; probe outputs gather in shard order.
+
+    ``suffix`` is in bottom-up application order (innermost operator
+    first).  ``tree`` is the annotated logical plan with explicit
+    :class:`~repro.relational.plans.Exchange` nodes, used for
+    signatures, tracing, and tests.
+    """
+
+    strategy: str
+    fragment: PlanNode
+    suffix: Tuple[PlanNode, ...] = ()
+    build_fragment: Optional[PlanNode] = None
+    join: Optional[PlanNode] = None
+    groupby: Optional[GroupBy] = None
+    shuffle_key: Optional[str] = None
+    tree: Optional[PlanNode] = None
+
+    def signature(self, catalog) -> str:
+        tree = self.tree if self.tree is not None else self.fragment
+        return f"dist:{self.strategy}:{tree.signature(catalog)}"
+
+
+def partitioned_tables(plan: PlanNode, catalog) -> List[str]:
+    """Names of referenced tables that are split across shards."""
+    names: List[str] = []
+    for node in walk_plan(plan):
+        if isinstance(node, (TableScan, IndexScan)):
+            info = catalog.table(node.table)
+            part = info.partitioning
+            if (
+                part is not None
+                and part.partitioned
+                and node.table not in names
+            ):
+                names.append(node.table)
+    return names
+
+
+def _shard_safe(node: PlanNode, catalog) -> Tuple[bool, int]:
+    """``(safe, npart)`` for running *node* once per shard.
+
+    ``safe`` with ``npart >= 1`` means: concatenating the per-shard
+    outputs in shard order reproduces the single-host output (rows and
+    order).  ``safe`` with ``npart == 0`` means: every shard produces an
+    *identical copy* of the single-host output (all inputs replicated).
+    Both readings compose through the join rules below.
+    """
+    if isinstance(node, TableScan):
+        part = catalog.table(node.table).partitioning
+        return True, (1 if part is not None and part.partitioned else 0)
+    if isinstance(node, IndexScan):
+        part = catalog.table(node.table).partitioning
+        if part is not None and part.partitioned:
+            return False, 1  # per-shard index order != global key order
+        return True, 0
+    if isinstance(node, (Filter, Project)):
+        return _shard_safe(node.child, catalog)  # row-wise: order-safe
+    if isinstance(node, _SUFFIX_OPS):
+        # Global semantics: only safe when the input is fully replicated
+        # (each shard computes the same complete answer).
+        safe, npart = _shard_safe(node.children[0], catalog)
+        return (safe and npart == 0), npart
+    driver = _JOIN_DRIVER.get(type(node))
+    if driver is not None:
+        dsafe, dn = _shard_safe(node.children[driver], catalog)
+        osafe, on = _shard_safe(node.children[1 - driver], catalog)
+        # The non-driver side must be complete on every shard; the
+        # driver side's shard order then drives the output order.
+        return (dsafe and osafe and on == 0), dn + on
+    if isinstance(node, MergeJoin):
+        # Key-interleaved output order: shard-order concatenation never
+        # reproduces it unless both sides are replicated.
+        lsafe, ln = _shard_safe(node.left, catalog)
+        rsafe, rn = _shard_safe(node.right, catalog)
+        return (lsafe and rsafe and ln == 0 and rn == 0), ln + rn
+    if isinstance(node, Exchange):
+        raise UnshardablePlan(
+            f"plan already contains a {node.op_name} exchange node"
+        )
+    return False, 0
+
+
+def _reapply(op: PlanNode, child: PlanNode) -> PlanNode:
+    """Rebuild one suffix operator over a new child (tree annotation)."""
+    if isinstance(op, Filter):
+        return Filter(child, op.predicate)
+    if isinstance(op, Project):
+        return Project(child, op.names, exprs=op.exprs)
+    if isinstance(op, Sort):
+        return Sort(child, op.keys, descending=op.descending)
+    if isinstance(op, Aggregate):
+        return Aggregate(child, op.aggs)
+    if isinstance(op, GroupBy):
+        return GroupBy(child, op.group_cols, op.aggs)
+    if isinstance(op, Limit):
+        return Limit(child, op.count, op.offset)
+    if isinstance(op, Distinct):
+        return Distinct(child)
+    raise UnshardablePlan(f"cannot re-root {type(op).__name__}")
+
+
+def _annotate(base: PlanNode, suffix: Sequence[PlanNode]) -> PlanNode:
+    tree = base
+    for op in suffix:
+        tree = _reapply(op, tree)
+    return tree
+
+
+def plan_distributed(
+    plan: PlanNode, catalog, prefer_shuffle: bool = True
+) -> DistributedPlan:
+    """Split *plan* into fragment + exchange + coordinator suffix.
+
+    Args:
+        plan: the logical plan (single-host shape, no Exchange nodes).
+        catalog: any shard's catalog -- schemas and partitioning
+            metadata are identical on every shard.
+        prefer_shuffle: re-partition GroupBy inputs by group key so the
+            grouping work parallelizes across shards (all-to-all traffic
+            instead of an N-to-1 gather of ungrouped rows).
+
+    Raises:
+        UnshardablePlan: when no supported split exists (e.g. a
+        partitioned table on the non-driving side of a join, or a
+        partitioned MergeJoin input).
+    """
+    if not partitioned_tables(plan, catalog):
+        return DistributedPlan(strategy="local", fragment=plan, tree=plan)
+
+    peeled: List[PlanNode] = []  # root-first
+    node = plan
+    while True:
+        safe, npart = _shard_safe(node, catalog)
+        if safe and npart >= 1:
+            break
+        if isinstance(node, _SUFFIX_OPS):
+            peeled.append(node)
+            node = node.children[0]
+            continue
+        if isinstance(node, HashJoin):
+            lsafe, ln = _shard_safe(node.left, catalog)
+            rsafe, rn = _shard_safe(node.right, catalog)
+            if lsafe and rsafe and ln >= 1 and rn >= 1:
+                suffix = tuple(reversed(peeled))
+                tree = _annotate(
+                    Gather(
+                        HashJoin(
+                            Broadcast(node.left),
+                            node.right,
+                            node.left_key,
+                            node.right_key,
+                        )
+                    ),
+                    suffix,
+                )
+                return DistributedPlan(
+                    strategy="broadcast",
+                    fragment=node.right,
+                    suffix=suffix,
+                    build_fragment=node.left,
+                    join=node,
+                    tree=tree,
+                )
+        raise UnshardablePlan(
+            f"{type(node).__name__} cannot sit between a partitioned "
+            f"fragment and the coordinator suffix "
+            f"(signature: {node.signature(catalog)})"
+        )
+
+    suffix = tuple(reversed(peeled))  # bottom-up application order
+    if (
+        prefer_shuffle
+        and suffix
+        and isinstance(suffix[0], GroupBy)
+    ):
+        groupby = suffix[0]
+        key = groupby.group_cols[0]
+        tree = _annotate(
+            Gather(_reapply(groupby, Shuffle(node, key))), suffix[1:]
+        )
+        return DistributedPlan(
+            strategy="shuffle",
+            fragment=node,
+            suffix=suffix[1:],
+            groupby=groupby,
+            shuffle_key=key,
+            tree=tree,
+        )
+    return DistributedPlan(
+        strategy="gather",
+        fragment=node,
+        suffix=suffix,
+        tree=_annotate(Gather(node), suffix),
+    )

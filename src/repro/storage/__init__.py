@@ -24,6 +24,13 @@ from repro.storage.file import BlockStore, HeapFile
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.manager import StorageManager
 from repro.storage.page import RID, Page
+from repro.storage.partition import (
+    PartitionInfo,
+    hash_partition,
+    partition_rows,
+    range_partition,
+    stable_hash,
+)
 from repro.storage.wal import (
     LogRecord,
     LogType,
@@ -60,10 +67,15 @@ __all__ = [
     "LRUK",
     "MRU",
     "Page",
+    "PartitionInfo",
     "RID",
     "ReplacementPolicy",
     "StorageManager",
     "TableInfo",
+    "hash_partition",
+    "partition_rows",
+    "range_partition",
+    "stable_hash",
     "Transaction",
     "TransactionManager",
     "TransactionState",

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 from repro.relational.schema import Schema
 from repro.storage.btree import BPlusTree
 from repro.storage.file import HeapFile
+from repro.storage.partition import PartitionInfo
 
 
 @dataclass
@@ -28,13 +29,19 @@ class IndexInfo:
 
 @dataclass
 class TableInfo:
-    """One base table: schema, heap file, and its indexes."""
+    """One base table: schema, heap file, and its indexes.
+
+    In a sharded deployment ``partitioning`` says which slice of the
+    logical table this catalog's heap holds (None: the whole table, the
+    single-host default).
+    """
 
     name: str
     schema: Schema
     heap: HeapFile
     clustered_on: Optional[List[str]] = None
     indexes: Dict[str, IndexInfo] = field(default_factory=dict)
+    partitioning: Optional[PartitionInfo] = None
 
     @property
     def num_rows(self) -> int:

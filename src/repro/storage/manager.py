@@ -23,6 +23,7 @@ from repro.storage.catalog import Catalog, IndexInfo, TableInfo
 from repro.storage.file import BlockStore, HeapFile
 from repro.storage.locks import LockManager
 from repro.storage.page import RID, Page, rows_per_page
+from repro.storage.partition import PartitionInfo
 
 #: Sort key for (key, rid) pairs: the key alone (see _build_index).
 _pair_key = itemgetter(0)
@@ -76,6 +77,7 @@ class StorageManager:
         name: str,
         schema: Schema,
         clustered_on: Optional[Sequence[str]] = None,
+        partitioning: Optional["PartitionInfo"] = None,
     ) -> TableInfo:
         heap = HeapFile(self.store, name, rows_per_page(schema.row_width))
         info = TableInfo(
@@ -83,6 +85,7 @@ class StorageManager:
             schema=schema,
             heap=heap,
             clustered_on=list(clustered_on) if clustered_on else None,
+            partitioning=partitioning,
         )
         self.catalog.add_table(info)
         return info

@@ -328,3 +328,55 @@ def test_adaptive_width_bypasses_pool_for_fewer_cells(monkeypatch):
     assert [r.payload for r in results.values()] == [
         r.payload for r in serial.values()
     ]
+
+
+# ---------------------------------------------------------------------------
+# Work stealing: the steal policy, and a forced steal through the pool
+# ---------------------------------------------------------------------------
+def test_steal_choice_policy():
+    from repro.parallel import steal_choice
+
+    # Own queue first, regardless of longer queues elsewhere.
+    assert steal_choice([[1], [1, 2, 3]], 0) == 0
+    # Empty own queue: steal from the longest other queue.
+    assert steal_choice([[], [1], [1, 2]], 0) == 2
+    # Ties break to the lowest slot index.
+    assert steal_choice([[], [1, 2], [1, 2]], 0) == 1
+    # Every queue drained: nothing to take.
+    assert steal_choice([[], [], []], 1) is None
+
+
+def test_pool_steals_from_a_busy_slot(tmp_path):
+    """Deal [flaky, ok, ok] onto two slots: slot 0 gets [flaky, ok(3)],
+    slot 1 gets [ok(2)].  The flaky cell's retry re-occupies slot 0
+    without refilling, so when slot 1 finishes its only cell the sole
+    remaining work sits in slot 0's queue -- slot 1 must steal it."""
+    flaky = flaky_spec(tmp_path)
+    specs = [flaky, ok_spec(2), ok_spec(3)]
+    factory = Factory()
+    with PoolRunner(jobs=2, executor_factory=factory) as runner:
+        results = runner.run(specs)
+    assert results[flaky].payload == "recovered"
+    assert results[ok_spec(2)].payload == 3
+    assert results[ok_spec(3)].payload == 4
+    assert runner.stats.retries == 1
+    assert runner.stats.steals == 1
+    assert runner.stats.executed == 3
+
+
+def test_pool_steals_match_serial_payloads(tmp_path):
+    """Byte-identity across scheduling: an uneven bag run with steals
+    produces exactly the serial runner's payloads."""
+    flaky = flaky_spec(tmp_path)
+    specs = [flaky, ok_spec(10), ok_spec(11), ok_spec(12), ok_spec(13)]
+    with PoolRunner(jobs=2, executor_factory=Factory()) as runner:
+        pooled = runner.run(specs)
+    serial_flag = str(tmp_path / "serial.flag")
+    serial_specs = [
+        CellSpec("figT", fn_key(flaky_cell), SMOKE, coords(flag=serial_flag))
+    ] + specs[1:]
+    with PoolRunner(jobs=1) as reference:
+        serial = reference.run(serial_specs)
+    assert [pooled[s].payload for s in specs] == [
+        serial[s].payload for s in serial_specs
+    ]
